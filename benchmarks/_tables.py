@@ -1,0 +1,50 @@
+"""Table emission for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's figures/claims as a plain-text
+table.  Tables are printed (visible with ``pytest -s``) and also written to
+``benchmarks/results/<exp_id>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.  Formatting is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def format_table(title: str, headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit_table(
+    exp_id: str, title: str, headers: list[str], rows: list[list[object]],
+    notes: str = "",
+) -> str:
+    """Format, print, and persist one experiment's table."""
+    text = format_table(f"[{exp_id}] {title}", headers, rows)
+    if notes:
+        text += "\n\n" + notes.strip()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    print("\n" + text + "\n")
+    return text
+
+
+def delta_units(ticks: int | None, delta: int) -> str:
+    """Render a tick count as Δ-multiples (the paper's unit)."""
+    if ticks is None:
+        return "-"
+    return f"{ticks / delta:.2f}Δ"

@@ -1,0 +1,128 @@
+"""E11 — Theorem 4.9: the adversary matrix.
+
+Runs every deviating strategy (and crash point) against every graph
+family, alone and in two-party coalitions, and verifies that no conforming
+party ever ends Underwater.  The emitted table is the safety scoreboard:
+strategy x family -> conforming outcomes observed.
+"""
+
+from _tables import emit_table
+
+from repro.analysis.outcomes import Outcome
+from repro.core.protocol import run_swap
+from repro.core.strategies import (
+    GreedyClaimOnlyParty,
+    LastMomentUnlockParty,
+    PrematureRevealParty,
+    RefuseToPublishParty,
+    SelectiveUnlockParty,
+    WithholdSecretParty,
+    WrongContractParty,
+)
+from repro.digraph.generators import (
+    complete_digraph,
+    cycle_digraph,
+    triangle,
+    two_leader_triangle,
+)
+from repro.sim.faults import CrashPoint, FaultPlan
+
+STRATEGIES = [
+    ("refuse-publish", RefuseToPublishParty, None),
+    ("withhold-secret", WithholdSecretParty, None),
+    ("premature-reveal", PrematureRevealParty, None),
+    ("selective-unlock", SelectiveUnlockParty, None),
+    ("last-moment", LastMomentUnlockParty, None),
+    ("wrong-contract", WrongContractParty, None),
+    ("claim-only", GreedyClaimOnlyParty, None),
+    ("crash@start", None, CrashPoint.AT_START),
+    ("crash@phase2", None, CrashPoint.BEFORE_PHASE_TWO),
+]
+
+FAMILIES = [
+    ("triangle", triangle()),
+    ("K3 (2 leaders)", two_leader_triangle()),
+    ("cycle-5", cycle_digraph(5)),
+    ("K4 (3 leaders)", complete_digraph(4)),
+]
+
+
+def run_matrix():
+    rows = []
+    violations = 0
+    for strat_label, strategy, crash_point in STRATEGIES:
+        for family_label, digraph in FAMILIES:
+            deviator = digraph.vertices[0]
+            strategies = {deviator: strategy} if strategy else {}
+            faults = FaultPlan()
+            if crash_point is not None:
+                faults.crash(deviator, at_point=crash_point)
+            result = run_swap(digraph, strategies=strategies, faults=faults)
+            conforming_outcomes = sorted(
+                {result.outcomes[v].value for v in result.conforming}
+            )
+            safe = result.conforming_acceptable() and result.assets_conserved()
+            if not safe:
+                violations += 1
+            rows.append(
+                [
+                    strat_label,
+                    family_label,
+                    result.outcomes[deviator].value,
+                    "/".join(conforming_outcomes) or "-",
+                    "SAFE" if safe else "VIOLATION",
+                ]
+            )
+    return rows, violations
+
+
+def test_no_conforming_party_underwater(benchmark):
+    rows, violations = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    emit_table(
+        "E11",
+        "Theorem 4.9: adversary matrix (single deviator per run)",
+        ["strategy", "digraph", "deviator outcome", "conforming outcomes", "verdict"],
+        rows,
+        notes=(
+            "36 adversarial executions; conforming parties end only in "
+            "{Deal, NoDeal, Discount, FreeRide}.  Deviators sometimes end "
+            "Underwater — the paper's 'only that party ends up worse off'."
+        ),
+    )
+    assert violations == 0
+
+
+def run_coalitions():
+    rows = []
+    violations = 0
+    digraph = complete_digraph(4)
+    pairings = [
+        ("withhold + refuse", {"P00": WithholdSecretParty, "P01": RefuseToPublishParty}),
+        ("claim-only x2", {"P01": GreedyClaimOnlyParty, "P02": GreedyClaimOnlyParty}),
+        ("last-moment x2", {"P02": LastMomentUnlockParty, "P03": LastMomentUnlockParty}),
+        ("wrong + withhold", {"P00": WrongContractParty, "P03": WithholdSecretParty}),
+    ]
+    for label, strategies in pairings:
+        result = run_swap(digraph, strategies=strategies)
+        safe = result.conforming_acceptable() and result.assets_conserved()
+        if not safe:
+            violations += 1
+        rows.append(
+            [
+                label,
+                "/".join(sorted({o.value for o in result.outcomes.values()})),
+                "SAFE" if safe else "VIOLATION",
+            ]
+        )
+    return rows, violations
+
+
+def test_coalition_deviations_safe(benchmark):
+    rows, violations = benchmark.pedantic(run_coalitions, rounds=1, iterations=1)
+    emit_table(
+        "E11b",
+        "Theorem 4.9: two-party deviating coalitions on K4",
+        ["coalition strategy", "outcomes seen", "verdict"],
+        rows,
+    )
+    assert violations == 0

@@ -1,0 +1,133 @@
+"""E12/E13 — the impossibility results, made constructive.
+
+E12 (Theorem 3.5 / Lemma 3.4): on non-strongly-connected digraphs the
+unreachable-side coalition profits by free-riding; on strongly connected
+digraphs the structured deviation search finds no profitable coalition.
+
+E13 (Theorem 4.12 / Lemma 4.11): leader sets that are not feedback vertex
+sets deadlock Phase One — the lazy pebble game stalls on every arc
+downstream of an uncovered follower cycle, while every valid FVS makes
+progress to completion.
+"""
+
+from _tables import emit_table
+
+from repro.analysis.attacks import free_ride_partition, non_fvs_deadlock
+from repro.analysis.equilibrium import check_strong_nash
+from repro.core.pebble import lazy_pebble_game
+from repro.digraph.digraph import Digraph
+from repro.digraph.feedback import is_feedback_vertex_set
+from repro.digraph.generators import (
+    chain_digraph,
+    complete_digraph,
+    not_strongly_connected_example,
+    triangle,
+    two_leader_triangle,
+)
+
+NON_SC = [
+    ("X2+Y2 cut", not_strongly_connected_example()),
+    ("chain-3", chain_digraph(3)),
+    ("chain-5", chain_digraph(5)),
+    (
+        "triangle+appendix",
+        Digraph(
+            ["A", "B", "C", "D"],
+            [("A", "B"), ("B", "C"), ("C", "A"), ("A", "D")],
+        ),
+    ),
+]
+
+
+def impossibility_sweep():
+    rows = []
+    for label, digraph in NON_SC:
+        demo = free_ride_partition(digraph)
+        rows.append(
+            [
+                label,
+                "non-SC",
+                ",".join(sorted(demo.coalition)),
+                demo.coalition_gain,
+                "deviation profits",
+            ]
+        )
+    for label, digraph in [("triangle", triangle()), ("K3", two_leader_triangle())]:
+        report = check_strong_nash(digraph, max_coalition_size=1)
+        rows.append(
+            [
+                label,
+                "SC",
+                f"({report.deviations_explored()} deviations searched)",
+                report.best_gain,
+                "no profitable deviation",
+            ]
+        )
+    return rows
+
+
+def test_atomicity_iff_strongly_connected(benchmark):
+    rows = benchmark.pedantic(impossibility_sweep, rounds=1, iterations=1)
+    emit_table(
+        "E12",
+        "Theorem 3.5: free-ride coalitions exist exactly off strong connectivity",
+        ["digraph", "connectivity", "coalition / search", "best gain", "verdict"],
+        rows,
+        notes=(
+            "Positive gain = Lemma 3.4's deviation (coalition keeps its "
+            "cross-cut payments).  On strongly connected digraphs the "
+            "deviation search over the full strategy menu finds gain <= 0."
+        ),
+    )
+    for row in rows:
+        if row[1] == "non-SC":
+            assert row[3] > 0, row
+        else:
+            assert row[3] <= 0, row
+
+
+LEADER_CASES = [
+    ("K3, L={A}", two_leader_triangle(), {"A"}, False),
+    ("K3, L={A,B}", two_leader_triangle(), {"A", "B"}, True),
+    ("K4, L={P00}", complete_digraph(4), {"P00"}, False),
+    ("K4, L={P00,P01}", complete_digraph(4), {"P00", "P01"}, False),
+    ("K4, L={P00,P01,P02}", complete_digraph(4), {"P00", "P01", "P02"}, True),
+    ("triangle, L={Alice}", triangle(), {"Alice"}, True),
+]
+
+
+def fvs_necessity_sweep():
+    rows = []
+    for label, digraph, leaders, expect_fvs in LEADER_CASES:
+        is_fvs = is_feedback_vertex_set(digraph, leaders)
+        assert is_fvs == expect_fvs
+        if is_fvs:
+            game = lazy_pebble_game(digraph, leaders)
+            stalled = 0
+            status = "completes"
+        else:
+            demo = non_fvs_deadlock(digraph, leaders)
+            stalled = len(demo.stalled_arcs)
+            status = "DEADLOCK"
+        rows.append([label, "yes" if is_fvs else "no", stalled, status])
+    return rows
+
+
+def test_leaders_must_be_fvs(benchmark):
+    rows = benchmark.pedantic(fvs_necessity_sweep, rounds=2, iterations=1)
+    emit_table(
+        "E13",
+        "Theorem 4.12: Phase One progress vs leader-set validity",
+        ["digraph, leaders", "FVS?", "starved arcs", "Phase One"],
+        rows,
+        notes=(
+            "Lemma 4.11 pins followers to waiting on all entering arcs, so "
+            "an uncovered follower cycle starves: each non-FVS row leaves "
+            "arcs permanently contract-less, each FVS row completes."
+        ),
+    )
+    for _label, is_fvs, stalled, status in rows:
+        if is_fvs == "yes":
+            assert status == "completes" and stalled == 0
+        else:
+            assert status == "DEADLOCK" and stalled > 0

@@ -1,0 +1,78 @@
+"""E19 — crypto ablation: signature schemes under the hashkey workload.
+
+Times keygen/sign/verify and full three-hop hashkey-chain verification for
+each scheme, plus sizes on the wire.  The shape: ECDSA is compact but
+big-int-bound, Lamport is hash-fast but 8KB per signature, and the
+idealised HMAC registry shows how much of protocol wall-clock is crypto.
+"""
+
+import pytest
+from _tables import emit_table
+
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.sigchain import extend_chain, sign_secret, verify_chain
+from repro.crypto.signatures import get_scheme
+
+SECRET = b"s" * 32
+MESSAGE = b"benchmark message"
+
+
+def chain_roundtrip(scheme_name: str):
+    scheme = get_scheme(scheme_name)
+    pairs = {
+        name: scheme.keygen(seed=name.encode()).renamed(name)
+        for name in ["A", "B", "C"]
+    }
+    directory = KeyDirectory()
+    for pair in pairs.values():
+        directory.register(pair)
+    chain = sign_secret(SECRET, pairs["A"], scheme)
+    chain = extend_chain(chain, pairs["B"], scheme)
+    chain = extend_chain(chain, pairs["C"], scheme)
+    ok = verify_chain(chain, SECRET, ("C", "B", "A"), directory, {scheme.name: scheme})
+    assert ok
+    return chain
+
+
+@pytest.mark.parametrize("scheme_name", ["hmac-registry", "lamport", "ecdsa-secp256k1"])
+def test_three_hop_chain(benchmark, scheme_name):
+    chain = benchmark.pedantic(chain_roundtrip, args=(scheme_name,), rounds=3, iterations=1)
+    assert len(chain) == 3
+
+
+def size_table():
+    rows = []
+    for name in ["ecdsa-secp256k1", "lamport", "hmac-registry"]:
+        scheme = get_scheme(name)
+        pair = scheme.keygen(seed=b"size-probe")
+        signature = scheme.sign(MESSAGE, pair)
+        rows.append(
+            [
+                name,
+                len(pair.public_key),
+                len(signature),
+                3 * len(signature),
+                "public-key crypto" if name != "hmac-registry" else "idealised (registry)",
+            ]
+        )
+    return rows
+
+
+def test_scheme_sizes(benchmark):
+    rows = benchmark.pedantic(size_table, rounds=2, iterations=1)
+    emit_table(
+        "E19",
+        "Crypto ablation: scheme sizes under the 3-hop hashkey workload",
+        ["scheme", "pubkey bytes", "signature bytes", "3-hop chain bytes", "kind"],
+        rows,
+        notes=(
+            "Per-operation timings are in the pytest-benchmark table "
+            "(test_three_hop_chain[...]).  Lamport answers the paper's "
+            "'fewer signatures?' remark with hash-only crypto at an 8KB/"
+            "signature price and one-time keys (single-leader swaps only)."
+        ),
+    )
+    by_scheme = {row[0]: row for row in rows}
+    assert by_scheme["ecdsa-secp256k1"][2] == 64
+    assert by_scheme["lamport"][2] == 8192
+    assert by_scheme["hmac-registry"][2] == 32

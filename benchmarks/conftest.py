@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Every benchmark uses the ``benchmark`` fixture (so ``--benchmark-only``
+runs the whole directory) and emits its reproduction table through
+:mod:`benchmarks._tables`.  Heavy simulations are timed with
+``benchmark.pedantic(rounds=..., iterations=1)`` to keep wall-clock sane.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))

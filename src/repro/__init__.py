@@ -1,0 +1,72 @@
+"""repro: a reproduction of "Atomic Cross-Chain Swaps" (Herlihy, PODC 2018).
+
+Quickstart::
+
+    from repro import run_swap, triangle
+
+    result = run_swap(triangle())   # Alice/Bob/Carol's three-way swap (§1)
+    assert result.all_deal()
+    print(result.summary())
+
+Submodules (see DESIGN.md for the full inventory):
+
+* :mod:`repro.crypto`   — hashing, signatures, hashkey signature chains.
+* :mod:`repro.digraph`  — swap digraphs and the graph algorithms they need.
+* :mod:`repro.chain`    — simulated blockchains, assets, contract hosting.
+* :mod:`repro.sim`      — discrete-event simulation with the paper's Δ model.
+* :mod:`repro.core`     — the swap protocol (contracts, hashkeys, parties,
+  market clearing, pebble games, single-leader timelocks, extensions).
+* :mod:`repro.analysis` — outcome classification and game-theoretic checks.
+* :mod:`repro.baselines`— comparison protocols (naive timelocks, sequential
+  trust, trusted-coordinator 2PC).
+
+The most common entry points are re-exported at the top level.
+"""
+
+from repro.analysis.outcomes import ACCEPTABLE_OUTCOMES, Outcome, classify_all
+from repro.core.clearing import MarketClearingService, Offer, ProposedTransfer
+from repro.core.hashkey import Hashkey
+from repro.core.protocol import SwapConfig, SwapResult, SwapSimulation, run_swap
+from repro.core.spec import SwapSpec
+from repro.core.timelocks import run_single_leader_swap
+from repro.digraph.digraph import Digraph
+from repro.digraph.generators import (
+    complete_digraph,
+    cycle_digraph,
+    random_strongly_connected,
+    triangle,
+    two_leader_triangle,
+)
+from repro.digraph.multigraph import MultiDigraph
+from repro.errors import ReproError
+from repro.sim.faults import Crash, CrashPoint, FaultPlan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACCEPTABLE_OUTCOMES",
+    "Outcome",
+    "classify_all",
+    "MarketClearingService",
+    "Offer",
+    "ProposedTransfer",
+    "Hashkey",
+    "SwapConfig",
+    "SwapResult",
+    "SwapSimulation",
+    "run_swap",
+    "SwapSpec",
+    "run_single_leader_swap",
+    "Digraph",
+    "complete_digraph",
+    "cycle_digraph",
+    "random_strongly_connected",
+    "triangle",
+    "two_leader_triangle",
+    "MultiDigraph",
+    "ReproError",
+    "Crash",
+    "CrashPoint",
+    "FaultPlan",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Game-theoretic analysis: outcomes, payoffs, equilibrium, attacks (§3).
+
+Outcome classification and payoffs are imported eagerly; the attack
+constructions and the equilibrium checker are loaded lazily (PEP 562)
+because they depend on :mod:`repro.core`, which itself uses the outcome
+classifier — eager imports in both directions would be circular.
+"""
+
+from repro.analysis.game import RECEIVER_VALUE_PERCENT, SwapGame, proper_coalitions
+from repro.analysis.outcomes import (
+    ACCEPTABLE_OUTCOMES,
+    Outcome,
+    all_deal,
+    classify_all,
+    classify_coalition,
+    classify_party,
+    comparable,
+    strictly_prefers,
+    uniform_for,
+)
+
+_LAZY_ATTACKS = {
+    "DeadlockDemo",
+    "FreeRideDemo",
+    "free_ride_partition",
+    "last_moment_scenario",
+    "non_fvs_deadlock",
+    "premature_reveal_scenario",
+}
+_LAZY_EQUILIBRIUM = {
+    "DEFAULT_MENU",
+    "DeviationOutcome",
+    "EquilibriumReport",
+    "MenuEntry",
+    "check_strong_nash",
+}
+
+__all__ = [
+    "RECEIVER_VALUE_PERCENT",
+    "SwapGame",
+    "proper_coalitions",
+    "ACCEPTABLE_OUTCOMES",
+    "Outcome",
+    "all_deal",
+    "classify_all",
+    "classify_coalition",
+    "classify_party",
+    "comparable",
+    "strictly_prefers",
+    "uniform_for",
+    *sorted(_LAZY_ATTACKS),
+    *sorted(_LAZY_EQUILIBRIUM),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_ATTACKS:
+        from repro.analysis import attacks
+
+        return getattr(attacks, name)
+    if name in _LAZY_EQUILIBRIUM:
+        from repro.analysis import equilibrium
+
+        return getattr(equilibrium, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,157 @@
+"""Empirical strong-Nash checking (Definition 3.2).
+
+A swap protocol is *atomic* when it is uniform **and** a strong Nash
+equilibrium: no coalition improves its payoff by jointly deviating.  The
+space of deviating strategies is unbounded, so no simulation can prove the
+equilibrium; what this module does is search a structured family of
+deviations — the ones the paper's proofs wrestle with — and confirm that
+none of them profits any coalition, while Theorem 4.9's uniformity holds
+in every explored execution.
+
+The strategy menu covers: refuse-to-publish (Lemma 4.11's primitive),
+withholding secrets, pure free-riding (claim-only), crash-at-milestone
+halts, and last-moment unlocking.  Coalitions up to a configurable size
+try every joint assignment from the menu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.analysis.game import SwapGame, proper_coalitions
+from repro.analysis.outcomes import Outcome
+from repro.core.protocol import StrategySpec, SwapConfig, SwapResult, run_swap
+from repro.core.strategies import (
+    GreedyClaimOnlyParty,
+    LastMomentUnlockParty,
+    RefuseToPublishParty,
+    WithholdSecretParty,
+)
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.sim.faults import CrashPoint, FaultPlan
+
+
+@dataclass(frozen=True)
+class MenuEntry:
+    """One deviating behaviour a coalition member can adopt."""
+
+    name: str
+    strategy: StrategySpec | None = None
+    crash_point: CrashPoint | None = None
+
+
+DEFAULT_MENU: tuple[MenuEntry, ...] = (
+    MenuEntry("conform"),
+    MenuEntry("refuse_publish", strategy=RefuseToPublishParty),
+    MenuEntry("withhold_secret", strategy=WithholdSecretParty),
+    MenuEntry("claim_only", strategy=GreedyClaimOnlyParty),
+    MenuEntry("last_moment", strategy=LastMomentUnlockParty),
+    MenuEntry("halt_before_phase_two", crash_point=CrashPoint.BEFORE_PHASE_TWO),
+)
+
+
+@dataclass
+class DeviationOutcome:
+    """One explored joint deviation and its consequences."""
+
+    coalition: frozenset[Vertex]
+    assignment: dict[Vertex, str]
+    payoff: int
+    deal_payoff: int
+    gain: int
+    conforming_underwater: set[Vertex]
+    outcomes: dict[Vertex, Outcome]
+    triggered: frozenset[Arc]
+
+
+@dataclass
+class EquilibriumReport:
+    """Findings of one strong-Nash search."""
+
+    digraph: Digraph
+    explored: list[DeviationOutcome] = field(default_factory=list)
+
+    @property
+    def best_gain(self) -> int:
+        """Max coalition gain over all explored deviations (<= 0 expected)."""
+        return max((d.gain for d in self.explored), default=0)
+
+    def profitable_deviations(self) -> list[DeviationOutcome]:
+        return [d for d in self.explored if d.gain > 0]
+
+    def equilibrium_supported(self) -> bool:
+        """No explored deviation was profitable (Def. 3.2, empirically)."""
+        return not self.profitable_deviations()
+
+    def uniformity_held(self) -> bool:
+        """No conforming party went Underwater in any exploration (Thm 4.9)."""
+        return all(not d.conforming_underwater for d in self.explored)
+
+    def deviations_explored(self) -> int:
+        return len(self.explored)
+
+
+def check_strong_nash(
+    digraph: Digraph,
+    values: dict[Arc, int] | None = None,
+    max_coalition_size: int = 2,
+    menu: tuple[MenuEntry, ...] = DEFAULT_MENU,
+    config: SwapConfig | None = None,
+    include_conform_only: bool = False,
+) -> EquilibriumReport:
+    """Search joint deviations for profitable ones.
+
+    Exhaustive over coalitions up to ``max_coalition_size`` and all joint
+    menu assignments (skipping the all-conform assignment unless
+    ``include_conform_only``).  Intended for the small digraphs the paper's
+    examples use — cost grows as ``|menu|^{|coalition|}`` per coalition.
+    """
+    game = SwapGame(digraph, values or {})
+    report = EquilibriumReport(digraph=digraph)
+    deviating_entries = [entry for entry in menu]
+
+    for coalition in proper_coalitions(digraph, max_coalition_size):
+        members = sorted(coalition)
+        for combo in product(deviating_entries, repeat=len(members)):
+            if all(entry.name == "conform" for entry in combo) and not include_conform_only:
+                continue
+            strategies: dict[Vertex, StrategySpec] = {}
+            faults = FaultPlan()
+            assignment: dict[Vertex, str] = {}
+            for member, entry in zip(members, combo):
+                assignment[member] = entry.name
+                if entry.strategy is not None:
+                    strategies[member] = entry.strategy
+                if entry.crash_point is not None:
+                    faults.crash(member, at_point=entry.crash_point)
+            result = run_swap(
+                digraph, config=config, strategies=strategies, faults=faults
+            )
+            report.explored.append(_evaluate(game, coalition, assignment, result))
+    return report
+
+
+def _evaluate(
+    game: SwapGame,
+    coalition: set[Vertex],
+    assignment: dict[Vertex, str],
+    result: SwapResult,
+) -> DeviationOutcome:
+    payoff = game.coalition_payoff(coalition, result.triggered)
+    deal = game.coalition_deal_payoff(coalition)
+    underwater = {
+        v
+        for v in result.conforming
+        if result.outcomes[v] is Outcome.UNDERWATER
+    }
+    return DeviationOutcome(
+        coalition=frozenset(coalition),
+        assignment=assignment,
+        payoff=payoff,
+        deal_payoff=deal,
+        gain=payoff - deal,
+        conforming_underwater=underwater,
+        outcomes=dict(result.outcomes),
+        triggered=result.triggered,
+    )

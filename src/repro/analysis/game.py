@@ -1,0 +1,120 @@
+"""The swap game: payoffs, preferences, and deviation accounting (§3).
+
+Outcomes (:mod:`repro.analysis.outcomes`) classify *which* arcs moved;
+this module prices them.  Each arc carries a value (how much the
+transferred asset is worth); a party's payoff is the value acquired minus
+the value relinquished, and a coalition's payoff sums its members' while
+netting out internal transfers.  The equilibrium checker
+(:mod:`repro.analysis.equilibrium`) compares deviation payoffs against the
+all-conforming baseline using these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.errors import DigraphError
+
+
+RECEIVER_VALUE_PERCENT = 110
+"""How much the *receiver* values an asset, per 100 units of sender value.
+
+Parties only agree to a swap they profit from, so each acquired asset is
+worth strictly more to its receiver than the asset it pays with — this is
+what makes "each party prefers Deal to NoDeal" (§3) a *strict* preference.
+The 10% surplus is arbitrary but any positive margin yields the same
+ordinal comparisons the equilibrium analysis needs.
+"""
+
+
+@dataclass(frozen=True)
+class SwapGame:
+    """A swap digraph with a valuation on its arcs.
+
+    ``values[arc]`` is the sender-side worth of the asset moving along
+    ``arc``; receivers value it at ``receiver_percent/100`` times that
+    (see :data:`RECEIVER_VALUE_PERCENT`).  Arcs missing from ``values``
+    default to 1.  All payoffs are integers in "sender centi-value" units.
+    """
+
+    digraph: Digraph
+    values: dict[Arc, int] = field(default_factory=dict)
+    receiver_percent: int = RECEIVER_VALUE_PERCENT
+
+    def __post_init__(self) -> None:
+        for arc in self.values:
+            if not self.digraph.has_arc(*arc):
+                raise DigraphError(f"valued arc {arc!r} is not in the digraph")
+        if self.receiver_percent <= 100:
+            raise DigraphError(
+                "receiver_percent must exceed 100: parties must strictly "
+                "prefer Deal to NoDeal, else they would not swap (§3)"
+            )
+
+    def value(self, arc: Arc) -> int:
+        return self.values.get(arc, 1)
+
+    # -- payoffs ---------------------------------------------------------------
+
+    def party_payoff(self, party: Vertex, triggered: Iterable[Arc]) -> int:
+        """Acquired value minus relinquished value for one party."""
+        triggered_set = set(triggered)
+        gained = sum(
+            self.value(arc) for arc in self.digraph.in_arcs(party) if arc in triggered_set
+        )
+        paid = sum(
+            self.value(arc) for arc in self.digraph.out_arcs(party) if arc in triggered_set
+        )
+        return gained * self.receiver_percent - paid * 100
+
+    def coalition_payoff(self, coalition: set[Vertex], triggered: Iterable[Arc]) -> int:
+        """Net value crossing the coalition boundary (internal arcs wash out)."""
+        if not coalition:
+            raise DigraphError("coalition must be non-empty")
+        triggered_set = set(triggered)
+        total = 0
+        for (u, v) in triggered_set:
+            if u not in coalition and v in coalition:
+                total += self.value((u, v)) * self.receiver_percent
+            elif u in coalition and v not in coalition:
+                total -= self.value((u, v)) * 100
+        return total
+
+    def deal_payoff(self, party: Vertex) -> int:
+        """The payoff when every arc triggers (the intended Deal)."""
+        return self.party_payoff(party, self.digraph.arcs)
+
+    def coalition_deal_payoff(self, coalition: set[Vertex]) -> int:
+        return self.coalition_payoff(coalition, self.digraph.arcs)
+
+    # -- deviation accounting -------------------------------------------------------
+
+    def deviation_gain(
+        self, coalition: set[Vertex], triggered: Iterable[Arc]
+    ) -> int:
+        """How much better the coalition did than the all-Deal baseline.
+
+        Positive gain on some reachable outcome means the protocol is not
+        a strong Nash equilibrium for this game.
+        """
+        return self.coalition_payoff(coalition, triggered) - self.coalition_deal_payoff(
+            coalition
+        )
+
+
+def proper_coalitions(digraph: Digraph, max_size: int | None = None) -> list[set[Vertex]]:
+    """All non-empty proper subsets of the parties, smallest first.
+
+    ``max_size`` caps coalition size for larger digraphs (the check is
+    exponential, like the game itself).
+    """
+    from itertools import combinations
+
+    vertices = digraph.vertices
+    limit = len(vertices) - 1 if max_size is None else min(max_size, len(vertices) - 1)
+    out: list[set[Vertex]] = []
+    for size in range(1, limit + 1):
+        out.extend(set(c) for c in combinations(vertices, size))
+    return out

@@ -1,0 +1,156 @@
+"""Outcome classification: the Figure 3 lattice.
+
+Given which arcs of the swap digraph were *triggered* (their transfers
+happened), §3 classifies each party's outcome:
+
+* **FreeRide** — acquired without paying: some entering arc triggered,
+  no leaving arc triggered;
+* **Discount** — acquired everything while paying less: all entering arcs
+  triggered, at least one leaving arc not;
+* **Deal** — the intended swap: all entering and all leaving triggered;
+* **NoDeal** — the status quo: nothing entering or leaving triggered;
+* **Underwater** — paid without being fully paid: some entering arc not
+  triggered and some leaving arc triggered.  The only unacceptable
+  outcome for a conforming party (Theorem 4.9's subject).
+
+Coalition outcomes replace the single vertex with a vertex set, counting
+only arcs that cross the coalition boundary (§3).  The classes partition
+all possibilities given the precedence encoded in :func:`classify_coalition`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.errors import DigraphError
+
+
+class Outcome(Enum):
+    """A party's (or coalition's) end state, per §3."""
+
+    FREERIDE = "FreeRide"
+    DISCOUNT = "Discount"
+    DEAL = "Deal"
+    NODEAL = "NoDeal"
+    UNDERWATER = "Underwater"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ACCEPTABLE_OUTCOMES = frozenset(
+    {Outcome.DEAL, Outcome.NODEAL, Outcome.DISCOUNT, Outcome.FREERIDE}
+)
+"""The outcomes a conforming party may acceptably end with (§3)."""
+
+# The strict-preference edges stated in §3 (worse -> better):
+#   NoDeal < Deal       ("each party prefers Deal to NoDeal")
+#   Deal   < Discount   ("prefers any Discount outcome to Deal")
+#   NoDeal < FreeRide   ("prefers any FreeRide outcome to NoDeal")
+#   Underwater < everything acceptable (it is the unacceptable class)
+_PREFERENCE_EDGES: dict[Outcome, set[Outcome]] = {
+    Outcome.UNDERWATER: {Outcome.NODEAL},
+    Outcome.NODEAL: {Outcome.DEAL, Outcome.FREERIDE},
+    Outcome.DEAL: {Outcome.DISCOUNT},
+    Outcome.DISCOUNT: set(),
+    Outcome.FREERIDE: set(),
+}
+
+
+def strictly_prefers(better: Outcome, worse: Outcome) -> bool:
+    """Is ``better`` strictly above ``worse`` in the Fig. 3 partial order?
+
+    Deal vs FreeRide (and Discount vs FreeRide) are incomparable: FreeRide
+    gains assets for free but may miss some entering assets.
+    """
+    if better == worse:
+        return False
+    frontier = set(_PREFERENCE_EDGES[worse])
+    while frontier:
+        if better in frontier:
+            return True
+        frontier = {nxt for o in frontier for nxt in _PREFERENCE_EDGES[o]}
+    return False
+
+
+def comparable(a: Outcome, b: Outcome) -> bool:
+    return a == b or strictly_prefers(a, b) or strictly_prefers(b, a)
+
+
+def classify_coalition(
+    digraph: Digraph, triggered: Iterable[Arc], coalition: set[Vertex]
+) -> Outcome:
+    """Classify a coalition's outcome from the triggered-arc set.
+
+    Only arcs crossing the coalition boundary count; internal transfers are
+    a wash for the coalition as a whole.  Entering/leaving predicates with
+    no crossing arcs are vacuously "all triggered" — irrelevant for
+    strongly connected digraphs with proper coalitions, but it lets the
+    classifier speak about degenerate graphs in the impossibility benches.
+    """
+    if not coalition:
+        raise DigraphError("coalition must be non-empty")
+    for v in coalition:
+        if not digraph.has_vertex(v):
+            raise DigraphError(f"unknown vertex {v!r}")
+    triggered_set = set(triggered)
+    for arc in triggered_set:
+        if not digraph.has_arc(*arc):
+            raise DigraphError(f"triggered arc {arc!r} is not in the digraph")
+
+    entering = [
+        (u, v) for (u, v) in digraph.arcs if u not in coalition and v in coalition
+    ]
+    leaving = [
+        (u, v) for (u, v) in digraph.arcs if u in coalition and v not in coalition
+    ]
+    entering_hit = [a for a in entering if a in triggered_set]
+    leaving_hit = [a for a in leaving if a in triggered_set]
+
+    none_in = not entering_hit
+    all_in = len(entering_hit) == len(entering)
+    none_out = not leaving_hit
+    all_out = len(leaving_hit) == len(leaving)
+
+    if none_in and none_out:
+        return Outcome.NODEAL
+    if all_in and all_out:
+        return Outcome.DEAL
+    if entering_hit and none_out:
+        return Outcome.FREERIDE
+    if all_in and not all_out:
+        return Outcome.DISCOUNT
+    # Remaining: some entering arc untriggered and some leaving triggered.
+    return Outcome.UNDERWATER
+
+
+def classify_party(digraph: Digraph, triggered: Iterable[Arc], party: Vertex) -> Outcome:
+    """Classify one party (a singleton coalition)."""
+    return classify_coalition(digraph, triggered, {party})
+
+
+def classify_all(digraph: Digraph, triggered: Iterable[Arc]) -> dict[Vertex, Outcome]:
+    """Classify every party of the digraph."""
+    triggered_set = set(triggered)
+    return {
+        v: classify_party(digraph, triggered_set, v) for v in digraph.vertices
+    }
+
+
+def uniform_for(
+    digraph: Digraph, triggered: Iterable[Arc], conforming: set[Vertex]
+) -> bool:
+    """Definition 3.1's second clause: no conforming party Underwater."""
+    triggered_set = set(triggered)
+    return all(
+        classify_party(digraph, triggered_set, v) is not Outcome.UNDERWATER
+        for v in conforming
+    )
+
+
+def all_deal(digraph: Digraph, triggered: Iterable[Arc]) -> bool:
+    """Definition 3.1's first clause: everyone finished with Deal."""
+    outcomes = classify_all(digraph, triggered)
+    return all(outcome is Outcome.DEAL for outcome in outcomes.values())

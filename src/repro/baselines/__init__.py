@@ -1,0 +1,32 @@
+"""Baseline protocols the paper's design is measured against.
+
+* B1 :mod:`repro.baselines.naive_timelock` — hashed timelocks with equal
+  timeouts (the §1 anti-pattern);
+* B2 :mod:`repro.baselines.pairwise_htlc` — sequential trusted transfers
+  (no atomicity);
+* B3 :mod:`repro.baselines.two_phase_commit` — a trusted coordinator
+  (atomic, fast, but not trust-free).
+"""
+
+from repro.baselines.naive_timelock import (
+    LastMomentSingleLeaderParty,
+    run_naive_timelock_swap,
+)
+from repro.baselines.pairwise_htlc import SequentialParty, run_sequential_trust_swap
+from repro.baselines.two_phase_commit import (
+    COORDINATOR,
+    CoordinatedEscrowContract,
+    Coordinator,
+    run_two_phase_commit_swap,
+)
+
+__all__ = [
+    "LastMomentSingleLeaderParty",
+    "run_naive_timelock_swap",
+    "SequentialParty",
+    "run_sequential_trust_swap",
+    "COORDINATOR",
+    "CoordinatedEscrowContract",
+    "Coordinator",
+    "run_two_phase_commit_swap",
+]

@@ -1,0 +1,196 @@
+"""Baseline B2: sequential trusted transfers (no atomicity at all).
+
+Before atomic swaps, a multi-party exchange cycle was executed the obvious
+way: somebody goes first, and each party passes its asset on once it has
+been paid.  There are no contracts, no hashlocks and no timeouts — just
+plain recorded transfers — so the protocol is as cheap as possible and
+works perfectly *when everyone is honest*.
+
+The failure mode is structural: whoever has paid but not yet been paid is
+exposed.  A defector who receives and then stops strands the first mover
+(and anyone else upstream) Underwater.  Bench E17 uses this baseline to
+quantify what the swap contracts actually buy.
+
+The implementation runs on the same chain substrate and discrete-event
+scheduler as the real protocol so byte counts and latencies are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.ledger import Record
+from repro.chain.network import ChainNetwork
+from repro.core.protocol import SwapConfig, SwapResult, collect_result
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.digraph.paths import is_strongly_connected
+from repro.errors import AssetError, NotStronglyConnectedError, SimulationError
+from repro.sim import trace as tr
+from repro.sim.process import Process, ReactionProfile
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+
+
+@dataclass
+class BaselineSpec:
+    """Duck-typed spec so baselines reuse :func:`collect_result`."""
+
+    digraph: Digraph
+    leaders: tuple[Vertex, ...]
+    start_time: int
+    delta: int
+    diam: int
+
+    def phase_two_bound(self) -> int:
+        # No protocol-level bound exists for a trust-based exchange; use
+        # one round-trip per arc as the generous yardstick.
+        return self.start_time + self.digraph.arc_count() * self.delta
+
+
+class SequentialParty(Process):
+    """Pays its successor(s) once every entering transfer has arrived.
+
+    The ``first_mover`` pays unconditionally (someone has to trust).
+    Defectors accept payment and never pay.
+    """
+
+    def __init__(
+        self,
+        name: Vertex,
+        digraph: Digraph,
+        network: ChainNetwork,
+        trace: Trace,
+        scheduler: Scheduler,
+        profile: ReactionProfile,
+        is_first_mover: bool,
+        defects: bool,
+    ) -> None:
+        super().__init__(name, scheduler, profile)
+        self.address = name
+        self.digraph = digraph
+        self.network = network
+        self.trace = trace
+        self.is_first_mover = is_first_mover
+        self.defects = defects
+        self.entering = digraph.in_arcs(name)
+        self.leaving = digraph.out_arcs(name)
+        self.received: set[Arc] = set()
+        self.paid = False
+
+    def start(self) -> None:
+        if self.is_first_mover and not self.defects:
+            self.wake_after(self.profile.action_delay, self._pay, label=f"{self.address}:pay")
+
+    def on_chain_record(self, chain: Blockchain, record: Record, landed_at: int) -> None:
+        if record.kind != "asset_transfer":
+            return
+        payload = record.payload
+        if payload.get("to") != self.address:
+            return
+        for arc in self.entering:
+            head, tail = arc
+            if payload.get("asset_id") == f"asset@{head}->{tail}":
+                self.received.add(arc)
+        if len(self.received) == len(self.entering) and not self.paid:
+            if self.defects:
+                return  # take the money and run
+            self.wake_after(self.profile.action_delay, self._pay, label=f"{self.address}:pay")
+
+    def _pay(self) -> None:
+        if self.paid:
+            return
+        self.paid = True
+        now = self.scheduler.now
+        for arc in self.leaving:
+            head, tail = arc
+            chain = self.network.chain_for_arc(arc)
+            try:
+                chain.transfer_asset(f"asset@{head}->{tail}", self.address, tail, now)
+            except AssetError:
+                continue
+            self.trace.record(now, tr.ARC_TRIGGERED, self.address, arc=list(arc))
+
+
+def run_sequential_trust_swap(
+    digraph: Digraph,
+    first_mover: Vertex | None = None,
+    defectors: set[Vertex] | None = None,
+    config: SwapConfig | None = None,
+) -> SwapResult:
+    """Execute the cycle by trust, optionally with defecting parties.
+
+    Returns the same :class:`SwapResult` shape as the real protocol so the
+    benches can print both in one table.
+    """
+    config = config or SwapConfig()
+    defectors = defectors or set()
+    if not is_strongly_connected(digraph):
+        raise NotStronglyConnectedError("baseline still needs a strongly connected swap")
+    for v in defectors:
+        if not digraph.has_vertex(v):
+            raise SimulationError(f"unknown defector {v!r}")
+    if first_mover is None:
+        first_mover = digraph.vertices[0]
+
+    network = ChainNetwork.for_digraph(digraph, include_broadcast=False)
+    network.register_arc_assets(digraph, now=0)
+    scheduler = Scheduler()
+    trace = Trace()
+    profile = ReactionProfile.fractions(
+        config.delta, config.reaction_fraction, config.action_fraction
+    )
+    parties = {
+        v: SequentialParty(
+            name=v,
+            digraph=digraph,
+            network=network,
+            trace=trace,
+            scheduler=scheduler,
+            profile=profile,
+            is_first_mover=v == first_mover,
+            defects=v in defectors,
+        )
+        for v in digraph.vertices
+    }
+
+    relevant: dict[str, list[SequentialParty]] = {}
+    for arc in digraph.arcs:
+        chain = network.chain_for_arc(arc)
+        head, tail = arc
+        relevant.setdefault(chain.chain_id, []).extend([parties[head], parties[tail]])
+
+    def on_record(chain: Blockchain, record: Record, now: int) -> None:
+        for party in relevant.get(chain.chain_id, ()):
+            if not party.is_halted:
+                party.wake_after(
+                    party.profile.reaction_delay,
+                    lambda p=party, c=chain, r=record, t=now: p.on_chain_record(c, r, t),
+                    label=f"{party.address}:observe",
+                )
+
+    network.subscribe_all(on_record)
+
+    start = config.resolved_start()
+    for vertex, party in parties.items():
+        scheduler.at(start, lambda p=party: p.start(), label=f"{vertex}:start")
+    events = scheduler.run()
+
+    spec = BaselineSpec(
+        digraph=digraph,
+        leaders=(first_mover,),
+        start_time=start,
+        delta=config.delta,
+        diam=len(digraph.vertices) - 1,
+    )
+    conforming = frozenset(v for v in digraph.vertices if v not in defectors)
+    return collect_result(
+        spec=spec,
+        config=config,
+        network=network,
+        trace=trace,
+        parties=parties,
+        conforming=conforming,
+        events_fired=events,
+    )

@@ -1,0 +1,354 @@
+"""Baseline B3: two-phase commit through a *trusted* coordinator.
+
+The paper calls atomic swaps "a trust-free, Byzantine-hardened form of
+distributed commitment".  This baseline is the commitment protocol that
+comparison implies: every party escrows its asset into a coordinator-
+controlled contract; once the coordinator sees all escrows it decides
+COMMIT (release everything to the counterparties) or, at its discretion or
+after a timeout, ABORT (refund everything).
+
+With an honest coordinator this is strictly better on latency — a
+constant number of rounds regardless of ``diam(D)`` — and cheaper in
+bytes: no digraph copies, no hashkeys, no signatures.  The price is the
+trust assumption, which :class:`ByzantineCoordinator` cashes in: a
+coordinator that commits only a subset of arcs drives conforming parties
+Underwater, something no coalition can do to the hashkey protocol
+(Theorem 4.9).  Bench E17 prints both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.chain.assets import Asset
+from repro.chain.blockchain import Blockchain
+from repro.chain.contracts import Contract
+from repro.chain.ledger import Record
+from repro.chain.network import ChainNetwork
+from repro.core.protocol import SwapConfig, SwapResult, collect_result
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.digraph.paths import is_strongly_connected
+from repro.errors import (
+    AssetError,
+    AuthorizationError,
+    ContractError,
+    ContractStateError,
+    NotStronglyConnectedError,
+)
+from repro.sim import trace as tr
+from repro.sim.process import Process, ReactionProfile
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+
+COORDINATOR = "coordinator"
+
+
+class CoordinatedEscrowContract(Contract):
+    """Escrow that only the named coordinator can resolve.
+
+    ``decide(commit=True)`` pays the counterparty; ``decide(commit=False)``
+    refunds the party; after ``timeout`` with no decision the party may
+    ``refund`` unilaterally (so a crashed coordinator cannot lock funds
+    forever — the classic 2PC blocking problem, softened with a deadline).
+    """
+
+    CALLABLE = frozenset({"decide", "refund"})
+
+    def __init__(
+        self, arc: Arc, asset: Asset, coordinator: str, timeout: int
+    ) -> None:
+        super().__init__(asset)
+        self.arc = arc
+        self.party, self.counterparty = arc
+        self.coordinator = coordinator
+        self.timeout = timeout
+        self.decision: bool | None = None
+        self.refunded = False
+        self.committed = False
+
+    def decide(self, caller: str, now: int, commit: bool) -> bool:
+        if caller != self.coordinator:
+            raise AuthorizationError(
+                f"decide is coordinator-only ({self.coordinator}); called by {caller}"
+            )
+        self._require_live()
+        if self.decision is not None:
+            raise ContractStateError("already decided")
+        self.decision = commit
+        assert self.chain is not None
+        if commit:
+            self.committed = True
+            self._halt()
+            self.chain.release_escrow(self, self.counterparty, now)
+        else:
+            self.refunded = True
+            self._halt()
+            self.chain.release_escrow(self, self.party, now)
+        return True
+
+    def refund(self, caller: str, now: int) -> bool:
+        if caller != self.party:
+            raise AuthorizationError(
+                f"refund is party-only ({self.party}); called by {caller}"
+            )
+        self._require_live()
+        if self.decision is not None:
+            raise ContractStateError("coordinator already decided")
+        if now < self.timeout:
+            raise ContractStateError(
+                f"coordinator still has until {self.timeout} (now {now})"
+            )
+        self.refunded = True
+        self._halt()
+        assert self.chain is not None
+        self.chain.release_escrow(self, self.party, now)
+        return True
+
+    @property
+    def triggered(self) -> bool:
+        return self.committed
+
+    def state_view(self) -> dict[str, Any]:
+        return {
+            "arc": list(self.arc),
+            "party": self.party,
+            "counterparty": self.counterparty,
+            "asset_id": self.asset.asset_id,
+            "coordinator": self.coordinator,
+            "timeout": self.timeout,
+            "decision": self.decision,
+            "halted": self.is_halted,
+        }
+
+    def storage_size_bytes(self) -> int:
+        endpoints = len(self.party.encode()) + len(self.counterparty.encode())
+        return endpoints + len(self.coordinator.encode()) + 8 + 1 + len(
+            self.asset.asset_id.encode()
+        )
+
+
+class EscrowParty(Process):
+    """Escrows its leaving assets at start; refunds after timeout if needed."""
+
+    def __init__(
+        self,
+        name: Vertex,
+        digraph: Digraph,
+        network: ChainNetwork,
+        assets: dict[Arc, Asset],
+        trace: Trace,
+        scheduler: Scheduler,
+        profile: ReactionProfile,
+        timeout: int,
+    ) -> None:
+        super().__init__(name, scheduler, profile)
+        self.address = name
+        self.digraph = digraph
+        self.network = network
+        self.assets = assets
+        self.trace = trace
+        self.timeout = timeout
+        self.contract_ids: dict[Arc, str] = {}
+
+    def start(self) -> None:
+        self.wake_after(self.profile.action_delay, self._escrow_all, label=f"{self.address}:escrow")
+
+    def _escrow_all(self) -> None:
+        now = self.scheduler.now
+        for arc in self.digraph.out_arcs(self.address):
+            contract = CoordinatedEscrowContract(
+                arc=arc, asset=self.assets[arc], coordinator=COORDINATOR, timeout=self.timeout
+            )
+            chain = self.network.chain_for_arc(arc)
+            try:
+                contract_id = chain.publish_contract(contract, self.address, now)
+            except (AssetError, ContractError):
+                continue
+            self.contract_ids[arc] = contract_id
+            self.trace.record(now, tr.CONTRACT_PUBLISHED, self.address, arc=list(arc))
+            self.wake_after(
+                max(0, self.timeout - now) + self.profile.action_delay,
+                lambda a=arc, cid=contract_id: self._try_refund(a, cid),
+                label=f"{self.address}:refund-watch",
+            )
+
+    def _try_refund(self, arc: Arc, contract_id: str) -> None:
+        chain = self.network.chain_for_arc(arc)
+        contract = chain.contract(contract_id)
+        if contract.is_halted:
+            return
+        try:
+            chain.call(contract_id, "refund", self.address, self.scheduler.now)
+        except ContractError:
+            return
+        self.trace.record(self.scheduler.now, tr.ARC_REFUNDED, self.address, arc=list(arc))
+
+    def on_chain_record(self, chain: Blockchain, record: Record, landed_at: int) -> None:
+        """Escrow parties act on their own schedule; decisions are final."""
+
+
+class Coordinator(Process):
+    """Observes escrows; commits all once everything is in.
+
+    ``commit_only`` (Byzantine mode) commits just that arc subset and
+    aborts the rest — the partial commit no conforming participant can
+    distinguish from honesty until it is too late.
+    """
+
+    def __init__(
+        self,
+        digraph: Digraph,
+        network: ChainNetwork,
+        trace: Trace,
+        scheduler: Scheduler,
+        profile: ReactionProfile,
+        commit_only: set[Arc] | None = None,
+        crash_before_decide: bool = False,
+    ) -> None:
+        super().__init__(COORDINATOR, scheduler, profile)
+        self.digraph = digraph
+        self.network = network
+        self.trace = trace
+        self.commit_only = commit_only
+        self.crash_before_decide = crash_before_decide
+        self.escrowed: dict[Arc, str] = {}
+        self.decided = False
+
+    def on_chain_record(self, chain: Blockchain, record: Record, landed_at: int) -> None:
+        if record.kind != "contract_published" or self.decided:
+            return
+        state = record.payload.get("state", {})
+        arc_value = state.get("arc")
+        if not arc_value or state.get("coordinator") != COORDINATOR:
+            return
+        arc: Arc = (arc_value[0], arc_value[1])
+        self.escrowed[arc] = record.payload["contract_id"]
+        if len(self.escrowed) == self.digraph.arc_count():
+            if self.crash_before_decide:
+                self.halt()
+                self.trace.record(self.scheduler.now, tr.PARTY_CRASHED, COORDINATOR)
+                return
+            self.wake_after(self.profile.action_delay, self._decide, label="coordinator:decide")
+
+    def _decide(self) -> None:
+        if self.decided:
+            return
+        self.decided = True
+        now = self.scheduler.now
+        for arc, contract_id in self.escrowed.items():
+            commit = self.commit_only is None or arc in self.commit_only
+            chain = self.network.chain_for_arc(arc)
+            try:
+                chain.call(contract_id, "decide", COORDINATOR, now, {"commit": commit})
+            except ContractError:
+                continue
+            if commit:
+                self.trace.record(now, tr.ARC_TRIGGERED, COORDINATOR, arc=list(arc))
+            else:
+                self.trace.record(now, tr.ARC_REFUNDED, COORDINATOR, arc=list(arc))
+
+
+@dataclass
+class TwoPhaseCommitSpec:
+    """Duck-typed spec for :func:`collect_result`."""
+
+    digraph: Digraph
+    leaders: tuple[Vertex, ...]
+    start_time: int
+    delta: int
+    diam: int
+
+    def phase_two_bound(self) -> int:
+        # Honest 2PC: escrow round + decide round, independent of diam.
+        return self.start_time + 3 * self.delta
+
+
+def run_two_phase_commit_swap(
+    digraph: Digraph,
+    config: SwapConfig | None = None,
+    byzantine_commit_only: set[Arc] | None = None,
+    coordinator_crashes: bool = False,
+) -> SwapResult:
+    """Run the trusted-coordinator exchange.
+
+    ``byzantine_commit_only`` switches the coordinator to a partial commit
+    (the trust failure); ``coordinator_crashes`` exercises the timeout
+    path (everyone refunds; NoDeal).
+    """
+    config = config or SwapConfig()
+    if not is_strongly_connected(digraph):
+        raise NotStronglyConnectedError("baseline still needs a strongly connected swap")
+    start = config.resolved_start()
+    timeout = start + 4 * config.delta
+
+    network = ChainNetwork.for_digraph(digraph, include_broadcast=False)
+    assets = network.register_arc_assets(digraph, now=0)
+    scheduler = Scheduler()
+    trace = Trace()
+    profile = ReactionProfile.fractions(
+        config.delta, config.reaction_fraction, config.action_fraction
+    )
+    parties = {
+        v: EscrowParty(
+            name=v,
+            digraph=digraph,
+            network=network,
+            assets=assets,
+            trace=trace,
+            scheduler=scheduler,
+            profile=profile,
+            timeout=timeout,
+        )
+        for v in digraph.vertices
+    }
+    coordinator = Coordinator(
+        digraph=digraph,
+        network=network,
+        trace=trace,
+        scheduler=scheduler,
+        profile=profile,
+        commit_only=byzantine_commit_only,
+        crash_before_decide=coordinator_crashes,
+    )
+
+    watchers: dict[str, list[Process]] = {}
+    for arc in digraph.arcs:
+        chain = network.chain_for_arc(arc)
+        head, tail = arc
+        watchers.setdefault(chain.chain_id, []).extend(
+            [parties[head], parties[tail], coordinator]
+        )
+
+    def on_record(chain: Blockchain, record: Record, now: int) -> None:
+        for watcher in watchers.get(chain.chain_id, ()):
+            if watcher.is_halted:
+                continue
+            watcher.wake_after(
+                watcher.profile.reaction_delay,
+                lambda w=watcher, c=chain, r=record, t=now: w.on_chain_record(c, r, t),  # type: ignore[attr-defined]
+                label=f"{watcher.name}:observe",
+            )
+
+    network.subscribe_all(on_record)
+    for vertex, party in parties.items():
+        scheduler.at(start, lambda p=party: p.start(), label=f"{vertex}:start")
+    events = scheduler.run()
+
+    spec = TwoPhaseCommitSpec(
+        digraph=digraph,
+        leaders=(COORDINATOR,),
+        start_time=start,
+        delta=config.delta,
+        diam=1,
+    )
+    conforming = frozenset(digraph.vertices)
+    return collect_result(
+        spec=spec,
+        config=config,
+        network=network,
+        trace=trace,
+        parties=parties,
+        conforming=conforming,
+        events_fired=events,
+    )

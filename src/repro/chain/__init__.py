@@ -1,0 +1,22 @@
+"""Blockchain substrate: ledgers, assets, contract hosting, multi-chain."""
+
+from repro.chain.assets import Asset, AssetRegistry
+from repro.chain.blockchain import Blockchain, encoded_args_size_bytes
+from repro.chain.contracts import Contract
+from repro.chain.ledger import Block, Ledger, Record, canonical_encode
+from repro.chain.network import BROADCAST_CHAIN_ID, ChainNetwork, chain_id_for_arc
+
+__all__ = [
+    "Asset",
+    "AssetRegistry",
+    "Blockchain",
+    "encoded_args_size_bytes",
+    "Contract",
+    "Block",
+    "Ledger",
+    "Record",
+    "canonical_encode",
+    "BROADCAST_CHAIN_ID",
+    "ChainNetwork",
+    "chain_id_for_arc",
+]

@@ -1,0 +1,91 @@
+"""Assets and ownership.
+
+An :class:`Asset` is anything a blockchain tracks title to — "a unit of
+cryptocurrency or an automobile title" (§2.2).  Each asset lives on exactly
+one blockchain (its *native chain*, the chain of the swap arc it moves on)
+and has exactly one owner at a time.  Contracts take custody by becoming
+the owner (escrow); `claim`/`refund` release custody.
+
+The :class:`AssetRegistry` enforces ownership on transfer, conserving
+assets: nothing is minted or destroyed after registration, which the test
+suite checks as a global invariant of every simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssetError
+
+
+@dataclass(frozen=True)
+class Asset:
+    """A titled asset tracked on a single blockchain.
+
+    Attributes:
+        asset_id: Globally unique identifier (e.g. ``"altcoins@Alice->Bob"``).
+        description: Human-readable description for traces and examples.
+        value: Abstract market value, used only by outcome/payoff analysis.
+    """
+
+    asset_id: str
+    description: str = ""
+    value: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.asset_id:
+            raise AssetError("asset_id must be non-empty")
+        if self.value < 0:
+            raise AssetError("asset value must be non-negative")
+
+
+class AssetRegistry:
+    """Ownership table for the assets native to one blockchain."""
+
+    def __init__(self, chain_id: str) -> None:
+        self.chain_id = chain_id
+        self._owners: dict[str, str] = {}
+        self._assets: dict[str, Asset] = {}
+
+    def register(self, asset: Asset, owner: str) -> None:
+        """Mint ``asset`` with an initial ``owner``; ids must be fresh."""
+        if asset.asset_id in self._assets:
+            raise AssetError(f"asset {asset.asset_id!r} already registered")
+        self._assets[asset.asset_id] = asset
+        self._owners[asset.asset_id] = owner
+
+    def owner(self, asset_id: str) -> str:
+        try:
+            return self._owners[asset_id]
+        except KeyError:
+            raise AssetError(f"unknown asset {asset_id!r}") from None
+
+    def asset(self, asset_id: str) -> Asset:
+        try:
+            return self._assets[asset_id]
+        except KeyError:
+            raise AssetError(f"unknown asset {asset_id!r}") from None
+
+    def transfer(self, asset_id: str, sender: str, recipient: str) -> None:
+        """Move ownership; ``sender`` must currently own the asset."""
+        current = self.owner(asset_id)
+        if current != sender:
+            raise AssetError(
+                f"{sender} cannot transfer {asset_id!r}: owned by {current}"
+            )
+        self._owners[asset_id] = recipient
+
+    def assets(self) -> list[Asset]:
+        return list(self._assets.values())
+
+    def holdings(self, owner: str) -> list[Asset]:
+        """All assets currently owned by ``owner`` on this chain."""
+        return [
+            self._assets[asset_id]
+            for asset_id, current in self._owners.items()
+            if current == owner
+        ]
+
+    def snapshot(self) -> dict[str, str]:
+        """A copy of the full ``asset_id -> owner`` table."""
+        return dict(self._owners)

@@ -1,0 +1,239 @@
+"""A single simulated blockchain: ledger + assets + hosted contracts.
+
+One :class:`Blockchain` instance backs one arc of the swap digraph (plus,
+optionally, one shared broadcast chain for the Phase-Two optimisation).
+It provides:
+
+* **publication** — :meth:`publish_contract` escrows the asset into the
+  contract and records the publication (irrevocable thereafter);
+* **invocation** — :meth:`call` dispatches an allow-listed method on a
+  hosted contract, records the transaction (success or failure) on the
+  ledger, and never lets a failed call mutate state;
+* **reading** — :meth:`contract_state`, :meth:`records`; the *timing* of
+  who sees what when is imposed by the simulator, not here;
+* **accounting** — stored bytes (Theorem 4.10) and published bytes
+  (communication complexity) are tracked separately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.chain.assets import Asset, AssetRegistry
+from repro.chain.contracts import Contract
+from repro.chain.ledger import Ledger, Record, canonical_encode
+from repro.errors import AssetError, ContractError, ContractStateError
+
+ChainEventCallback = Callable[["Blockchain", Record, int], None]
+
+
+class Blockchain:
+    """A publicly readable, tamper-proof ledger hosting contracts and assets."""
+
+    def __init__(self, chain_id: str) -> None:
+        self.chain_id = chain_id
+        self.ledger = Ledger(chain_id)
+        self.assets = AssetRegistry(chain_id)
+        self._contracts: dict[str, Contract] = {}
+        self._subscribers: list[ChainEventCallback] = []
+        self._published_bytes = 0
+
+    # -- subscription (wired to the simulator's observation delays) ----------
+
+    def subscribe(self, callback: ChainEventCallback) -> None:
+        """Register a callback fired synchronously for every new record.
+
+        The discrete-event runner uses this to schedule each party's
+        *delayed* observation; parties never subscribe directly.
+        """
+        self._subscribers.append(callback)
+
+    def _record(self, record: Record, now: int) -> None:
+        self.ledger.append(record, now)
+        self._published_bytes += record.encoded_size_bytes()
+        for callback in list(self._subscribers):
+            callback(self, record, now)
+
+    # -- assets -----------------------------------------------------------------
+
+    def register_asset(self, asset: Asset, owner: str, now: int = 0) -> None:
+        """Mint an asset onto this chain with an initial owner."""
+        self.assets.register(asset, owner)
+        self._record(
+            Record(
+                kind="asset_registered",
+                author=owner,
+                payload={"asset_id": asset.asset_id, "owner": owner},
+            ),
+            now,
+        )
+
+    def transfer_asset(self, asset_id: str, sender: str, recipient: str, now: int) -> None:
+        """A plain recorded transfer (no contract): sender must own the asset.
+
+        Used by the trust-based baseline protocols; the atomic swap itself
+        only ever moves assets through contract escrow.
+        """
+        self.assets.transfer(asset_id, sender, recipient)
+        self._record(
+            Record(
+                kind="asset_transfer",
+                author=sender,
+                payload={"asset_id": asset_id, "from": sender, "to": recipient},
+            ),
+            now,
+        )
+
+    def publish_data(self, kind: str, author: str, payload: dict, now: int) -> Record:
+        """Publish a plain data record (no contract semantics).
+
+        Used for the §4.5 broadcast optimisation (leaders posting secrets on
+        the shared chain) and for the market-clearing service's spec
+        publication.
+        """
+        record = Record(kind=kind, author=author, payload=payload)
+        self._record(record, now)
+        return record
+
+    # -- contracts ----------------------------------------------------------------
+
+    def publish_contract(self, contract: Contract, sender: str, now: int) -> str:
+        """Publish ``contract``, escrowing its asset from ``sender``.
+
+        The sender must own the contract's asset on this chain; ownership
+        moves to the contract (escrow).  Returns the contract id.  Raises
+        :class:`AssetError` (no escrow possible) or :class:`ContractError`
+        (already published) without recording anything — a transaction that
+        cannot pay for its escrow never makes it on-chain.
+        """
+        if contract.is_published:
+            raise ContractError("contract instance already published")
+        contract_id = f"{self.chain_id}/contract-{len(self._contracts)}"
+        # Escrow first: if the sender does not own the asset this raises
+        # and the publication never happens.
+        self.assets.transfer(contract.asset.asset_id, sender, contract_id)
+        contract.bind(self, contract_id, sender, now)
+        self._contracts[contract_id] = contract
+        self._record(
+            Record(
+                kind="contract_published",
+                author=sender,
+                payload={
+                    "contract_id": contract_id,
+                    "contract_type": type(contract).__name__,
+                    "asset_id": contract.asset.asset_id,
+                    "storage_bytes": contract.storage_size_bytes(),
+                    "state": contract.state_view(),
+                },
+            ),
+            now,
+        )
+        return contract_id
+
+    def call(
+        self,
+        contract_id: str,
+        method: str,
+        sender: str,
+        now: int,
+        args: dict[str, Any] | None = None,
+    ) -> Any:
+        """Invoke ``method`` on a hosted contract as a recorded transaction.
+
+        Failed calls (any :class:`ContractError`) are recorded with their
+        error and re-raised; by construction contract methods validate
+        before mutating, so a failed call leaves state unchanged.
+        """
+        args = args or {}
+        contract = self.contract(contract_id)
+        if method not in contract.CALLABLE:
+            raise ContractError(
+                f"{method!r} is not an on-chain method of {contract.describe()}"
+            )
+        payload: dict[str, Any] = {
+            "contract_id": contract_id,
+            "method": method,
+            "args": args,
+        }
+        try:
+            result = getattr(contract, method)(caller=sender, now=now, **args)
+        except ContractError as error:
+            payload["ok"] = False
+            payload["error"] = f"{type(error).__name__}: {error}"
+            self._record(Record(kind="contract_call", author=sender, payload=payload), now)
+            raise
+        payload["ok"] = True
+        payload["state"] = contract.state_view()
+        self._record(Record(kind="contract_call", author=sender, payload=payload), now)
+        return result
+
+    def contract(self, contract_id: str) -> Contract:
+        try:
+            return self._contracts[contract_id]
+        except KeyError:
+            raise ContractError(
+                f"no contract {contract_id!r} on chain {self.chain_id}"
+            ) from None
+
+    def contracts(self) -> list[Contract]:
+        return list(self._contracts.values())
+
+    def contract_state(self, contract_id: str) -> dict[str, Any]:
+        """Read a contract's public state (readers are free and instant;
+        observation *delays* are imposed by the simulator)."""
+        return self.contract(contract_id).state_view()
+
+    def release_escrow(self, contract: Contract, recipient: str, now: int) -> None:
+        """Called by a hosted contract to hand its asset to ``recipient``.
+
+        Only the contract that holds the escrow may release it.
+        """
+        if contract.contract_id is None or contract.chain is not self:
+            raise ContractStateError("only a hosted contract can release escrow")
+        current_owner = self.assets.owner(contract.asset.asset_id)
+        if current_owner != contract.contract_id:
+            raise AssetError(
+                f"escrow violation: {contract.contract_id} does not hold "
+                f"{contract.asset.asset_id!r} (owner: {current_owner})"
+            )
+        self.assets.transfer(contract.asset.asset_id, contract.contract_id, recipient)
+        self._record(
+            Record(
+                kind="asset_transfer",
+                author=contract.contract_id,
+                payload={
+                    "asset_id": contract.asset.asset_id,
+                    "from": contract.contract_id,
+                    "to": recipient,
+                },
+            ),
+            now,
+        )
+
+    # -- reading and accounting ---------------------------------------------------
+
+    def records(self) -> list[Record]:
+        return self.ledger.records()
+
+    def stored_bytes(self) -> int:
+        """Total bytes persisted on this chain (ledger blocks)."""
+        return self.ledger.total_size_bytes()
+
+    def published_bytes(self) -> int:
+        """Total record bytes ever published (communication accounting)."""
+        return self._published_bytes
+
+    def contract_storage_bytes(self) -> int:
+        """Long-lived contract storage only (the Theorem 4.10 measure)."""
+        return sum(c.storage_size_bytes() for c in self._contracts.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Blockchain({self.chain_id!r}, blocks={len(self.ledger)}, "
+            f"contracts={len(self._contracts)})"
+        )
+
+
+def encoded_args_size_bytes(args: dict[str, Any]) -> int:
+    """Size of a call's arguments in canonical encoding (for metrics)."""
+    return len(canonical_encode(args))

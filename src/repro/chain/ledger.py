@@ -1,0 +1,183 @@
+"""Append-only, hash-chained, tamper-evident ledgers.
+
+The paper's model (§2.2) needs exactly three properties from a blockchain:
+publishing is visible to everyone within ``Δ``, published items are
+irrevocable, and stored bytes can be counted (for Theorem 4.10).  A
+:class:`Ledger` provides the irrevocability and the accounting: records are
+wrapped in blocks whose headers chain by SHA-256, so any retroactive
+mutation is detectable by :meth:`Ledger.verify_integrity`.
+
+Visibility timing is *not* the ledger's job — the discrete-event simulator
+(:mod:`repro.sim`) delivers observations with the configured delays.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.crypto.hashing import sha256
+from repro.errors import LedgerError, TamperError
+
+GENESIS_HASH = bytes(32)
+
+_BLOCK_HEADER_BYTES = 8 + 8 + 32 + 32  # index, timestamp, prev_hash, hash
+
+
+def canonical_encode(payload: dict) -> bytes:
+    """Canonical JSON encoding used for hashing and size accounting.
+
+    Bytes values are hex-encoded with a marker so encoding is injective for
+    the payload shapes the library produces.
+    """
+    return json.dumps(_encode_value(payload), separators=(",", ":"), sort_keys=True).encode()
+
+
+def _encode_value(value):
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise LedgerError(f"cannot encode {type(value).__name__} in a ledger record")
+
+
+@dataclass(frozen=True)
+class Record:
+    """One logical entry on a ledger.
+
+    Attributes:
+        kind: Record type, e.g. ``contract_published`` or ``contract_call``.
+        author: Address of the party that submitted the record.
+        payload: JSON-compatible body (bytes values allowed, hex-encoded).
+    """
+
+    kind: str
+    author: str
+    payload: dict
+
+    def encoded(self) -> bytes:
+        return canonical_encode(
+            {"kind": self.kind, "author": self.author, "payload": self.payload}
+        )
+
+    def encoded_size_bytes(self) -> int:
+        return len(self.encoded())
+
+
+@dataclass(frozen=True)
+class Block:
+    """A sealed block: header plus records, hash-chained to its parent."""
+
+    index: int
+    timestamp: int
+    prev_hash: bytes
+    records: tuple[Record, ...]
+    block_hash: bytes = field(repr=False)
+
+    @staticmethod
+    def compute_hash(
+        index: int, timestamp: int, prev_hash: bytes, records: tuple[Record, ...]
+    ) -> bytes:
+        body = b"".join(record.encoded() for record in records)
+        header = (
+            index.to_bytes(8, "big")
+            + timestamp.to_bytes(8, "big", signed=True)
+            + prev_hash
+        )
+        return sha256(header + body)
+
+    def encoded_size_bytes(self) -> int:
+        return _BLOCK_HEADER_BYTES + sum(r.encoded_size_bytes() for r in self.records)
+
+
+class Ledger:
+    """An append-only chain of blocks.
+
+    Each :meth:`append` seals one block containing one record — a
+    simplification (real chains batch) that keeps the simulator's
+    publish/observe timing exact while preserving hash-chaining and
+    byte-accounting semantics.  Timestamps must be non-decreasing.
+    """
+
+    def __init__(self, ledger_id: str) -> None:
+        self.ledger_id = ledger_id
+        self._blocks: list[Block] = []
+        self._observers: list[Callable[[Block], None]] = []
+
+    def append(self, record: Record, timestamp: int) -> Block:
+        """Seal ``record`` into a new block at ``timestamp``."""
+        if self._blocks and timestamp < self._blocks[-1].timestamp:
+            raise LedgerError(
+                f"timestamp {timestamp} is earlier than the chain tip "
+                f"({self._blocks[-1].timestamp})"
+            )
+        index = len(self._blocks)
+        prev_hash = self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
+        block_hash = Block.compute_hash(index, timestamp, prev_hash, (record,))
+        block = Block(
+            index=index,
+            timestamp=timestamp,
+            prev_hash=prev_hash,
+            records=(record,),
+            block_hash=block_hash,
+        )
+        self._blocks.append(block)
+        for observer in self._observers:
+            observer(block)
+        return block
+
+    def add_observer(self, callback: Callable[[Block], None]) -> None:
+        """Register a callback fired synchronously on every new block."""
+        self._observers.append(callback)
+
+    # -- reading -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def blocks(self) -> tuple[Block, ...]:
+        return tuple(self._blocks)
+
+    def records(self) -> list[Record]:
+        return [record for block in self._blocks for record in block.records]
+
+    def records_of_kind(self, kind: str) -> list[Record]:
+        return [record for record in self.records() if record.kind == kind]
+
+    # -- integrity and accounting ---------------------------------------------
+
+    def verify_integrity(self) -> None:
+        """Raise :class:`TamperError` if any block fails hash validation."""
+        prev_hash = GENESIS_HASH
+        for position, block in enumerate(self._blocks):
+            if block.index != position:
+                raise TamperError(
+                    f"{self.ledger_id}: block at position {position} claims "
+                    f"index {block.index}"
+                )
+            if block.prev_hash != prev_hash:
+                raise TamperError(
+                    f"{self.ledger_id}: block {position} does not chain to "
+                    "its predecessor"
+                )
+            expected = Block.compute_hash(
+                block.index, block.timestamp, block.prev_hash, block.records
+            )
+            if block.block_hash != expected:
+                raise TamperError(
+                    f"{self.ledger_id}: block {position} contents do not "
+                    "match its hash"
+                )
+            prev_hash = block.block_hash
+
+    def total_size_bytes(self) -> int:
+        """Total bytes stored on this ledger (Theorem 4.10 accounting)."""
+        return sum(block.encoded_size_bytes() for block in self._blocks)

@@ -1,0 +1,313 @@
+"""Fault attribution and bonds: the §5 denial-of-service remark, built.
+
+"The swap protocol is still vulnerable to a weak denial-of-service attack
+where an adversarial party repeatedly proposes an attractive swap, and
+then fails to complete the protocol ... We leave for future work the
+question whether one could require parties to post bonds, and following a
+failed swap, examine the blockchains to determine who was at fault (by
+failing to execute an enabled transition)."
+
+This module answers that question for the simulated setting:
+
+* :func:`attribute_faults` performs the post-mortem: using only
+  chain-visible evidence (published contract states, unlock transactions
+  and their timestamps) plus the common-knowledge spec, it names every
+  party that failed to execute an *enabled* transition — publishing a
+  contract whose preconditions were met, revealing a secret it provably
+  held in time, or publishing an incorrect contract in the first place.
+  Conforming abandonment (a party that saw an incorrect contract) is
+  excused, exactly as §4.5 prescribes.
+
+* :func:`settle_bonds` turns findings into incentives: every party posts
+  a bond on a shared bond chain before the swap; after a failed swap the
+  attributed parties forfeit their bonds, which are split among the
+  conforming parties the failure touched.  A party that never misbehaves
+  always gets its bond back — attribution never blames a conforming
+  party, which the test suite checks across the full fault/strategy
+  matrix.
+
+The analysis is deliberately conservative (it only blames on evidence
+every observer can verify), so a colluding party that *was never enabled*
+— e.g. one whose own counterparty stalled first — is not blamed even if
+it intended mischief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.contract import SwapContract, is_correct_contract_state
+from repro.core.protocol import SwapResult
+from repro.analysis.outcomes import Outcome
+from repro.digraph.digraph import Arc, Vertex
+
+
+@dataclass(frozen=True)
+class FaultFinding:
+    """One attributable protocol violation, with chain-visible evidence."""
+
+    party: Vertex
+    kind: str
+    arc: Arc | None
+    evidence: str
+
+    UNPUBLISHED = "unpublished_enabled_contract"
+    INCORRECT_CONTRACT = "published_incorrect_contract"
+    WITHHELD_SECRET = "withheld_own_secret"
+    WITHHELD_RELAY = "withheld_learned_secret"
+
+
+@dataclass
+class FaultReport:
+    """All findings for one failed (or succeeded) swap."""
+
+    findings: list[FaultFinding] = field(default_factory=list)
+
+    def faulty_parties(self) -> set[Vertex]:
+        return {f.party for f in self.findings}
+
+    def findings_for(self, party: Vertex) -> list[FaultFinding]:
+        return [f for f in self.findings if f.party == party]
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+
+def attribute_faults(result: SwapResult) -> FaultReport:
+    """Examine final chain state and name every enabled-but-skipped move.
+
+    Works purely from what any observer can read back off the chains:
+    which arcs carry (correct) contracts and when, and which hashlocks
+    were opened when and with what paths.
+    """
+    spec = result.spec
+    digraph = spec.digraph
+    report = FaultReport()
+
+    contract_state = _collect_contracts(result)
+    publish_times = result.trace.times_by_arc("contract_published")
+
+    correct_arcs = {
+        arc for arc, (contract, _cid) in contract_state.items()
+        if is_correct_contract_state(
+            contract.state_view(), spec, arc, f"asset@{arc[0]}->{arc[1]}"
+        )
+    }
+    incorrect_arcs = set(contract_state) - correct_arcs
+
+    # Rule 0: publishing an incorrect contract is itself a fault.
+    for arc in sorted(incorrect_arcs):
+        report.findings.append(
+            FaultFinding(
+                party=arc[0],
+                kind=FaultFinding.INCORRECT_CONTRACT,
+                arc=arc,
+                evidence=(
+                    f"contract on {arc[0]}->{arc[1]} does not match the "
+                    "published spec (wrong hashlocks/fields)"
+                ),
+            )
+        )
+
+    # A party excused by conforming abandonment: it saw an incorrect
+    # contract on one of its entering arcs.
+    excused = {
+        v for v in digraph.vertices
+        if any(arc in incorrect_arcs for arc in digraph.in_arcs(v))
+    }
+
+    # Rule 1 (Phase One): every leaving arc of an enabled party must carry
+    # a correct contract.  Leaders are enabled unconditionally at start;
+    # followers once ALL their entering arcs carry correct contracts.
+    for v in digraph.vertices:
+        if v in excused:
+            continue
+        if spec.is_leader(v):
+            enabled = True
+        else:
+            enabled = all(arc in correct_arcs for arc in digraph.in_arcs(v))
+        if not enabled:
+            continue
+        for arc in digraph.out_arcs(v):
+            if arc not in correct_arcs:
+                role = "leader" if spec.is_leader(v) else "follower with all entering contracts present"
+                report.findings.append(
+                    FaultFinding(
+                        party=v,
+                        kind=FaultFinding.UNPUBLISHED,
+                        arc=arc,
+                        evidence=f"{role} never published on {arc[0]}->{arc[1]}",
+                    )
+                )
+
+    # Rule 2 (Phase Two, leaders): a leader whose entering arcs all carry
+    # correct contracts must open its own hashlock on each of them.
+    for lock_index, leader in enumerate(spec.leaders):
+        if leader in excused:
+            continue
+        entering = digraph.in_arcs(leader)
+        if not all(arc in correct_arcs for arc in entering):
+            continue
+        for arc in entering:
+            contract, _cid = contract_state[arc]
+            if not contract.unlocked[lock_index]:
+                report.findings.append(
+                    FaultFinding(
+                        party=leader,
+                        kind=FaultFinding.WITHHELD_SECRET,
+                        arc=arc,
+                        evidence=(
+                            f"leader of hashlock {lock_index} had a correct "
+                            f"contract on {arc[0]}->{arc[1]} but never "
+                            "revealed its secret there"
+                        ),
+                    )
+                )
+
+    # Rule 3 (Phase Two, relays): a party that provably learned secret i
+    # (a leaving arc's lock i was opened at time t, with a Δ of deadline
+    # to spare for the extended path) must open lock i on every entering
+    # arc that carried a correct contract.
+    for v in digraph.vertices:
+        if v in excused:
+            continue
+        for lock_index in range(spec.lock_count()):
+            learned_at = _earliest_learning(result, contract_state, v, lock_index)
+            if learned_at is None:
+                continue
+            t_unlock, observed_path_len = learned_at
+            extended_deadline = spec.hashkey_deadline(observed_path_len + 1)
+            if t_unlock + spec.delta > extended_deadline:
+                continue  # not provably enabled: too close to expiry
+            for arc in digraph.in_arcs(v):
+                if arc not in correct_arcs:
+                    continue
+                contract, _cid = contract_state[arc]
+                # A refunded contract does not excuse the relay: refunds
+                # only fire at the lock's *final* timeout, which is never
+                # earlier than the deadline of v's extended hashkey.
+                if not contract.unlocked[lock_index]:
+                    report.findings.append(
+                        FaultFinding(
+                            party=v,
+                            kind=FaultFinding.WITHHELD_RELAY,
+                            arc=arc,
+                            evidence=(
+                                f"lock {lock_index} opened on a leaving arc "
+                                f"at t={t_unlock} (path length "
+                                f"{observed_path_len}), yet never opened on "
+                                f"{arc[0]}->{arc[1]} before its deadline"
+                            ),
+                        )
+                    )
+    return report
+
+
+def _collect_contracts(result: SwapResult) -> dict[Arc, tuple[SwapContract, str]]:
+    """The SwapContract (and id) each arc's chain hosts, if any."""
+    out: dict[Arc, tuple[SwapContract, str]] = {}
+    for arc in result.spec.digraph.arcs:
+        chain = result.network.chain_for_arc(arc)
+        for contract in chain.contracts():
+            if isinstance(contract, SwapContract) and contract.arc == arc:
+                out[arc] = (contract, contract.contract_id or "")
+                break
+    return out
+
+
+def _earliest_learning(
+    result: SwapResult,
+    contract_state: dict[Arc, tuple[SwapContract, str]],
+    v: Vertex,
+    lock_index: int,
+) -> tuple[int, int] | None:
+    """When (and via how long a path) ``v`` provably learned secret i.
+
+    Evidence: an unlock of lock ``i`` on an arc leaving ``v`` — the
+    transaction reveals the secret to ``v`` (and the world).
+    """
+    best: tuple[int, int] | None = None
+    for arc in result.spec.digraph.out_arcs(v):
+        entry = contract_state.get(arc)
+        if entry is None:
+            continue
+        contract, _cid = entry
+        when = contract.unlock_times[lock_index]
+        hashkey = contract.unlock_hashkeys[lock_index]
+        if when is None or hashkey is None:
+            continue
+        if best is None or when < best[0]:
+            best = (when, hashkey.path_length)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Bonds
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BondSettlement:
+    """Who posted, who forfeited, who was compensated."""
+
+    bond_amount: int
+    deposits: dict[Vertex, int]
+    forfeited: dict[Vertex, int]
+    compensation: dict[Vertex, int]
+    returned: dict[Vertex, int]
+
+    def total_forfeited(self) -> int:
+        return sum(self.forfeited.values())
+
+    def conserves_value(self) -> bool:
+        paid_in = sum(self.deposits.values())
+        paid_out = sum(self.returned.values()) + sum(self.compensation.values())
+        return paid_in == paid_out
+
+
+def settle_bonds(
+    result: SwapResult,
+    report: FaultReport | None = None,
+    bond_amount: int = 100,
+) -> BondSettlement:
+    """Settle per-party bonds from a swap result and its fault report.
+
+    Every party deposits ``bond_amount``.  Parties named by the fault
+    report forfeit their bond; forfeited value is split (integer division,
+    remainder to the lexicographically first victims) among non-faulty
+    parties who ended worse than Deal.  If the swap succeeded — or nobody
+    non-faulty was touched — everyone not at fault is simply refunded.
+    """
+    if report is None:
+        report = attribute_faults(result)
+    parties = list(result.spec.digraph.vertices)
+    faulty = report.faulty_parties()
+    deposits = {v: bond_amount for v in parties}
+    forfeited = {v: bond_amount for v in sorted(faulty)}
+
+    harmed = sorted(
+        v for v in parties
+        if v not in faulty and result.outcomes[v] is not Outcome.DEAL
+    )
+    compensation: dict[Vertex, int] = {}
+    pool = sum(forfeited.values())
+    if pool and harmed:
+        share, remainder = divmod(pool, len(harmed))
+        for index, v in enumerate(harmed):
+            compensation[v] = share + (1 if index < remainder else 0)
+    elif pool:
+        # Nobody to compensate: return the pool to the faulty parties'
+        # counterparties is ill-defined, so burn nothing — refund it.
+        for v in sorted(faulty):
+            forfeited.pop(v)
+
+    returned = {
+        v: bond_amount for v in parties if v not in forfeited
+    }
+    return BondSettlement(
+        bond_amount=bond_amount,
+        deposits=deposits,
+        forfeited=forfeited,
+        compensation=compensation,
+        returned=returned,
+    )

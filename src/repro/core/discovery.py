@@ -1,0 +1,108 @@
+"""Dynamic spec propagation (§5's final remark).
+
+"One limitation of the swap protocol presented here is the assumption
+that the swap digraph, its leaders, and their hashlocks are common
+knowledge among the participants.  Future work might address constructing
+and propagating this information dynamically."
+
+This module closes the loop in the simulated setting: the market-clearing
+service publishes the spec *on the broadcast chain* (§4.2 already allows
+this — see :meth:`MarketClearingService.clear`), and prospective
+participants reconstruct the spec purely from that on-chain record via
+:func:`discover_spec`, re-validating every structural requirement (strong
+connectivity, the leader set being an FVS, hashlock shape) before
+committing to anything.  A party that started from nothing but the chain
+and its own offer can therefore:
+
+1. read the published spec record,
+2. rebuild the :class:`~repro.core.spec.SwapSpec`,
+3. run §4.2's consistency checks against its own offer
+   (:func:`~repro.core.clearing.check_spec_against_offer`),
+4. and only then escrow assets.
+
+Tampered or torn records fail reconstruction loudly — reconstruction runs
+the same validators the spec's constructor always enforces.
+"""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.ledger import Record
+from repro.core.spec import SwapSpec
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.signatures import SignatureScheme
+from repro.digraph.digraph import Digraph
+from repro.errors import ClearingError
+
+SPEC_RECORD_KIND = "swap_spec_published"
+
+
+def discover_spec(
+    broadcast_chain: Blockchain,
+    directory: KeyDirectory,
+    schemes: dict[str, SignatureScheme],
+) -> SwapSpec:
+    """Reconstruct the most recently published swap spec from chain data.
+
+    ``directory`` and ``schemes`` are the observer's own (keys are
+    published separately and schemes are code, not data).  Raises
+    :class:`ClearingError` when no spec record exists or the record does
+    not decode to a valid spec.
+    """
+    records = broadcast_chain.ledger.records_of_kind(SPEC_RECORD_KIND)
+    if not records:
+        raise ClearingError("no swap spec has been published on this chain")
+    return spec_from_record(records[-1], directory, schemes)
+
+
+def spec_from_record(
+    record: Record,
+    directory: KeyDirectory,
+    schemes: dict[str, SignatureScheme],
+) -> SwapSpec:
+    """Decode one ``swap_spec_published`` record into a validated spec."""
+    if record.kind != SPEC_RECORD_KIND:
+        raise ClearingError(f"record kind {record.kind!r} is not a spec record")
+    payload = record.payload
+    try:
+        digraph = Digraph.from_dict(payload["digraph"])
+        leaders = tuple(payload["leaders"])
+        hashlocks = tuple(bytes.fromhex(h) for h in payload["hashlocks"])
+        start_time = int(payload["start_time"])
+        delta = int(payload["delta"])
+        diam = int(payload["diam"])
+        timeout_slack = int(payload["timeout_slack"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ClearingError(f"malformed spec record: {error}") from None
+    # SwapSpec.__post_init__ re-runs every structural validation (strong
+    # connectivity, FVS leaders, hashlock arity, timing sanity), so a
+    # tampered record cannot smuggle in an unsafe spec.
+    return SwapSpec(
+        digraph=digraph,
+        leaders=leaders,
+        hashlocks=hashlocks,
+        start_time=start_time,
+        delta=delta,
+        diam=diam,
+        timeout_slack=timeout_slack,
+        directory=directory,
+        schemes=schemes,
+    )
+
+
+def specs_match(a: SwapSpec, b: SwapSpec) -> bool:
+    """Field-wise spec equality over the *published* content.
+
+    (The directory and scheme instances are the observer's own and are
+    excluded — two observers with the same key data agree on a spec even
+    though their Python objects differ.)
+    """
+    return (
+        a.digraph == b.digraph
+        and a.leaders == b.leaders
+        and a.hashlocks == b.hashlocks
+        and a.start_time == b.start_time
+        and a.delta == b.delta
+        and a.diam == b.diam
+        and a.timeout_slack == b.timeout_slack
+    )

@@ -1,0 +1,130 @@
+"""The lazy and eager pebble games of §4.4.
+
+Both games run on a strongly connected digraph; the protocol analysis maps
+Phase One to the *lazy* game on ``D`` (contracts propagate from the
+leaders) and each secret's Phase-Two dissemination to the *eager* game on
+``D^T`` (hashkeys flow against the arcs).  The games' round counts bound
+the protocol's time complexity (Lemmas 4.1-4.3, Corollary 4.4): every arc
+is pebbled within ``diam(D)`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.digraph.feedback import require_feedback_vertex_set
+from repro.digraph.paths import is_strongly_connected
+from repro.errors import DigraphError, NotStronglyConnectedError
+
+
+@dataclass(frozen=True)
+class PebbleGameResult:
+    """Outcome of a pebble game run.
+
+    Attributes:
+        rounds: ``rounds[k]`` is the set of arcs first pebbled in round
+            ``k`` (round 0 is the initial placement).
+        complete: Whether every arc ended up pebbled (Lemmas 4.1/4.2 say
+            this always holds under the stated preconditions).
+    """
+
+    rounds: tuple[frozenset[Arc], ...]
+    complete: bool
+
+    @property
+    def round_count(self) -> int:
+        """Rounds *after* the initial placement — the Lemma 4.3 measure."""
+        return len(self.rounds) - 1
+
+    def pebbled(self) -> set[Arc]:
+        out: set[Arc] = set()
+        for arcs in self.rounds:
+            out |= arcs
+        return out
+
+    def round_of(self, arc: Arc) -> int | None:
+        for index, arcs in enumerate(self.rounds):
+            if arc in arcs:
+                return index
+        return None
+
+
+def lazy_pebble_game(
+    digraph: Digraph,
+    leaders: set[Vertex] | frozenset[Vertex],
+    require_preconditions: bool = True,
+) -> PebbleGameResult:
+    """§4.4's lazy game: Phase One's contract propagation, abstractly.
+
+    Round 0 pebbles the arcs leaving each leader.  Each later round pebbles
+    the arcs leaving every vertex whose entering arcs are all pebbled.
+    Requires strong connectivity and ``leaders`` to be a feedback vertex
+    set — the exact preconditions of Lemma 4.1.  Pass
+    ``require_preconditions=False`` to watch the game *stall* when the
+    preconditions fail (the Theorem 4.12 deadlock demonstration).
+    """
+    for leader in leaders:
+        if not digraph.has_vertex(leader):
+            raise DigraphError(f"unknown leader {leader!r}")
+    if require_preconditions:
+        if not is_strongly_connected(digraph):
+            raise NotStronglyConnectedError(
+                "the lazy game assumes strong connectivity"
+            )
+        require_feedback_vertex_set(digraph, set(leaders))
+
+    pebbled: set[Arc] = set()
+    initial = {arc for leader in leaders for arc in digraph.out_arcs(leader)}
+    pebbled |= initial
+    rounds: list[frozenset[Arc]] = [frozenset(initial)]
+
+    while True:
+        new_arcs: set[Arc] = set()
+        for v in digraph.vertices:
+            if all(arc in pebbled for arc in digraph.in_arcs(v)):
+                for arc in digraph.out_arcs(v):
+                    if arc not in pebbled:
+                        new_arcs.add(arc)
+        if not new_arcs:
+            break
+        pebbled |= new_arcs
+        rounds.append(frozenset(new_arcs))
+
+    return PebbleGameResult(
+        rounds=tuple(rounds), complete=len(pebbled) == digraph.arc_count()
+    )
+
+
+def eager_pebble_game(digraph: Digraph, start: Vertex) -> PebbleGameResult:
+    """§4.4's eager game: one secret's Phase-Two dissemination, abstractly.
+
+    A pebble starts on vertex ``start``; round 0 pebbles the arcs leaving
+    ``start``, and each later round pebbles the arcs leaving every vertex
+    with *any* pebbled entering arc.  Requires strong connectivity
+    (Lemma 4.2's precondition).  Note the protocol runs this game on
+    ``D^T``: pass the transpose when modelling secret flow.
+    """
+    if not digraph.has_vertex(start):
+        raise DigraphError(f"unknown start vertex {start!r}")
+    if not is_strongly_connected(digraph):
+        raise NotStronglyConnectedError("the eager game assumes strong connectivity")
+
+    pebbled: set[Arc] = set(digraph.out_arcs(start))
+    rounds: list[frozenset[Arc]] = [frozenset(pebbled)]
+
+    while True:
+        new_arcs: set[Arc] = set()
+        for v in digraph.vertices:
+            if any(arc in pebbled for arc in digraph.in_arcs(v)):
+                for arc in digraph.out_arcs(v):
+                    if arc not in pebbled:
+                        new_arcs.add(arc)
+        if not new_arcs:
+            break
+        pebbled |= new_arcs
+        rounds.append(frozenset(new_arcs))
+
+    return PebbleGameResult(
+        rounds=tuple(rounds), complete=len(pebbled) == digraph.arc_count()
+    )

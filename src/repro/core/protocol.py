@@ -1,0 +1,444 @@
+"""End-to-end swap execution: build, wire, run, classify.
+
+:class:`SwapSimulation` assembles everything one atomic swap needs —
+chains, keys, secrets, the spec, and one party process per vertex — wires
+chain records to delayed party observations, runs the discrete-event loop
+to quiescence, and returns a :class:`SwapResult` with the triggered/
+refunded arc sets, per-party outcomes (Fig. 3), timing, and byte-level
+metrics for the complexity theorems.
+
+Usage::
+
+    sim = SwapSimulation(triangle())
+    result = sim.run()
+    assert result.all_deal()
+
+Deviations are injected via ``faults`` (crash schedules) and
+``strategies`` (deviating party classes from :mod:`repro.core.strategies`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.outcomes import (
+    ACCEPTABLE_OUTCOMES,
+    Outcome,
+    classify_all,
+)
+from repro.chain.assets import Asset
+from repro.chain.blockchain import Blockchain
+from repro.chain.ledger import Record
+from repro.chain.network import BROADCAST_CHAIN_ID, ChainNetwork
+from repro.core.contract import SwapContract
+from repro.core.party import SwapParty
+from repro.core.spec import SwapSpec, compute_diameter_for_spec
+from repro.crypto.hashing import hash_secret, sha256
+from repro.crypto.keys import KeyDirectory, KeyPair
+from repro.crypto.signatures import DEFAULT_SCHEME_NAME, get_scheme
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.digraph.feedback import feedback_vertex_set
+from repro.digraph.paths import EXACT_LONGEST_PATH_LIMIT, is_strongly_connected
+from repro.errors import NotStronglyConnectedError, SignatureError, SimulationError
+from repro.sim import trace as tr
+from repro.sim.clock import DEFAULT_DELTA
+from repro.sim.faults import FaultPlan
+from repro.sim.process import (
+    DEFAULT_ACTION_FRACTION,
+    DEFAULT_REACTION_FRACTION,
+    ReactionProfile,
+)
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+
+StrategySpec = type[SwapParty] | tuple[type[SwapParty], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class SwapConfig:
+    """Tunable parameters of a swap simulation.
+
+    Defaults reproduce the paper's setting: strict Fig. 5 deadlines
+    (``timeout_slack = 0``) with conforming parties whose observe+act round
+    trip is ``0.45·Δ`` (see :mod:`repro.sim.process`).
+    """
+
+    delta: int = DEFAULT_DELTA
+    timeout_slack: int = 0
+    scheme_name: str = DEFAULT_SCHEME_NAME
+    start_time: int | None = None
+    """Protocol start ``T``; defaults to ``delta`` (§4.2: "at least Δ in
+    the future")."""
+    use_broadcast: bool = False
+    """Enable the §4.5 Phase-Two broadcast optimisation."""
+    reaction_fraction: float = DEFAULT_REACTION_FRACTION
+    action_fraction: float = DEFAULT_ACTION_FRACTION
+    seed: int = 7
+    exact_limit: int = EXACT_LONGEST_PATH_LIMIT
+    diam_override: int | None = None
+    """Force a ``diam`` value (safe if >= the true diameter)."""
+
+    def resolved_start(self) -> int:
+        return self.start_time if self.start_time is not None else self.delta
+
+
+@dataclass
+class SwapResult:
+    """Everything observable after a swap simulation has quiesced."""
+
+    spec: SwapSpec
+    config: SwapConfig
+    network: ChainNetwork
+    trace: Trace
+    parties: dict[Vertex, SwapParty]
+    conforming: frozenset[Vertex]
+    triggered: frozenset[Arc]
+    refunded: frozenset[Arc]
+    stuck_in_escrow: frozenset[Arc]
+    outcomes: dict[Vertex, Outcome]
+    events_fired: int
+
+    # -- headline predicates -----------------------------------------------------
+
+    def all_deal(self) -> bool:
+        """Did every party end with Deal (the all-conforming guarantee)?"""
+        return all(o is Outcome.DEAL for o in self.outcomes.values())
+
+    def conforming_acceptable(self) -> bool:
+        """Theorem 4.9: no conforming party may end Underwater."""
+        return all(
+            self.outcomes[v] in ACCEPTABLE_OUTCOMES for v in self.conforming
+        )
+
+    def underwater_parties(self) -> set[Vertex]:
+        return {v for v, o in self.outcomes.items() if o is Outcome.UNDERWATER}
+
+    # -- timing ---------------------------------------------------------------------
+
+    @property
+    def completion_time(self) -> int | None:
+        """When the last arc triggered (None if nothing triggered)."""
+        return self.trace.last_time(tr.ARC_TRIGGERED)
+
+    @property
+    def phase_one_complete_time(self) -> int | None:
+        """When the last contract was published."""
+        return self.trace.last_time(tr.CONTRACT_PUBLISHED)
+
+    def within_time_bound(self) -> bool:
+        """Theorem 4.7: all triggers by ``start + 2·diam·Δ`` (+ slack)."""
+        done = self.completion_time
+        return done is not None and done <= self.spec.phase_two_bound()
+
+    # -- space / communication metrics -------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.network.total_stored_bytes()
+
+    @property
+    def contract_storage_bytes(self) -> int:
+        return self.network.total_contract_storage_bytes()
+
+    @property
+    def published_bytes(self) -> int:
+        return self.network.total_published_bytes()
+
+    @property
+    def unlock_calls(self) -> int:
+        return self.trace.count(tr.HASHLOCK_UNLOCKED)
+
+    def assets_conserved(self) -> bool:
+        """Every arc's asset is owned by its head, its tail, or its escrow."""
+        for arc in self.spec.digraph.arcs:
+            head, tail = arc
+            chain = self.network.chain_for_arc(arc)
+            owner = chain.assets.owner(f"asset@{head}->{tail}")
+            if owner not in {head, tail} and not owner.startswith(chain.chain_id):
+                return False
+        return True
+
+    def summary(self) -> str:
+        lines = [
+            f"digraph: |V|={len(self.spec.digraph.vertices)} "
+            f"|A|={self.spec.digraph.arc_count()} diam={self.spec.diam} "
+            f"leaders={list(self.spec.leaders)}",
+            f"triggered: {len(self.triggered)}/{self.spec.digraph.arc_count()} "
+            f"refunded: {len(self.refunded)} stuck: {len(self.stuck_in_escrow)}",
+            f"completion: {self.completion_time} "
+            f"(bound {self.spec.phase_two_bound()})",
+            "outcomes: "
+            + ", ".join(f"{v}={o.value}" for v, o in sorted(self.outcomes.items())),
+        ]
+        return "\n".join(lines)
+
+
+class SwapSimulation:
+    """Builds and runs one atomic cross-chain swap."""
+
+    def __init__(
+        self,
+        digraph: Digraph,
+        leaders: tuple[Vertex, ...] | list[Vertex] | None = None,
+        config: SwapConfig | None = None,
+        faults: FaultPlan | None = None,
+        strategies: dict[Vertex, StrategySpec] | None = None,
+        profiles: dict[Vertex, ReactionProfile] | None = None,
+        asset_values: dict[Arc, int] | None = None,
+    ) -> None:
+        self.config = config or SwapConfig()
+        self.faults = faults or FaultPlan.none()
+        self.strategies = strategies or {}
+        if not is_strongly_connected(digraph):
+            raise NotStronglyConnectedError(
+                "SwapSimulation requires a strongly connected digraph "
+                "(Theorem 3.5; see repro.analysis.attacks for the "
+                "impossibility constructions)"
+            )
+        self.digraph = digraph
+
+        for vertex in self.strategies:
+            if not digraph.has_vertex(vertex):
+                raise SimulationError(f"strategy for unknown party {vertex!r}")
+        for vertex in self.faults.crashes:
+            if not digraph.has_vertex(vertex):
+                raise SimulationError(f"fault for unknown party {vertex!r}")
+
+        # -- leaders ---------------------------------------------------------
+        if leaders is None:
+            chosen = feedback_vertex_set(digraph, exact_limit=self.config.exact_limit)
+            ordered = tuple(v for v in digraph.vertices if v in chosen)
+        else:
+            ordered = tuple(leaders)
+        self.leaders = ordered
+
+        # -- keys and secrets (deterministic in the seed) ----------------------
+        scheme = get_scheme(self.config.scheme_name)
+        if scheme.name == "lamport" and len(self.leaders) > 1:
+            raise SignatureError(
+                "Lamport keys are one-time, but a multi-leader swap makes "
+                "each party sign one hashkey extension per lock; use a "
+                "multi-use scheme (ecdsa-secp256k1 or hmac-registry) or a "
+                "single-leader digraph"
+            )
+        self.scheme = scheme
+        directory = KeyDirectory()
+        self.keypairs: dict[Vertex, KeyPair] = {}
+        for vertex in digraph.vertices:
+            key_seed = sha256(f"keyseed:{self.config.seed}:{vertex}".encode())
+            keypair = scheme.keygen(seed=key_seed).renamed(vertex)
+            directory.register(keypair)
+            self.keypairs[vertex] = keypair
+        self.secrets: dict[Vertex, bytes] = {
+            leader: sha256(f"secret:{self.config.seed}:{leader}".encode())
+            for leader in self.leaders
+        }
+        hashlocks = tuple(hash_secret(self.secrets[l]) for l in self.leaders)
+
+        # -- the published spec -------------------------------------------------
+        diam = (
+            self.config.diam_override
+            if self.config.diam_override is not None
+            else compute_diameter_for_spec(digraph, self.config.exact_limit)
+        )
+        self.spec = SwapSpec(
+            digraph=digraph,
+            leaders=self.leaders,
+            hashlocks=hashlocks,
+            start_time=self.config.resolved_start(),
+            delta=self.config.delta,
+            diam=diam,
+            timeout_slack=self.config.timeout_slack,
+            directory=directory,
+            schemes={scheme.name: scheme},
+            broadcast_unlock_enabled=self.config.use_broadcast,
+        )
+
+        # -- chains and assets ------------------------------------------------------
+        self.network = ChainNetwork.for_digraph(digraph, include_broadcast=True)
+        value_of = None
+        if asset_values is not None:
+            value_of = lambda arc: asset_values.get(arc, 1)  # noqa: E731
+        self.assets: dict[Arc, Asset] = self.network.register_arc_assets(
+            digraph, now=0, value_of=value_of
+        )
+
+        # -- simulation engine ---------------------------------------------------------
+        self.scheduler = Scheduler()
+        self.trace = Trace()
+        default_profile = ReactionProfile.fractions(
+            self.config.delta,
+            self.config.reaction_fraction,
+            self.config.action_fraction,
+        )
+        profiles = profiles or {}
+
+        self.parties: dict[Vertex, SwapParty] = {}
+        for vertex in digraph.vertices:
+            cls, extra = self._resolve_strategy(vertex)
+            party = cls(
+                keypair=self.keypairs[vertex],
+                spec=self.spec,
+                network=self.network,
+                assets=self.assets,
+                trace=self.trace,
+                scheduler=self.scheduler,
+                profile=profiles.get(vertex, default_profile),
+                secret=self.secrets.get(vertex),
+                use_broadcast=self.config.use_broadcast,
+                **extra,
+            )
+            self.parties[vertex] = party
+
+        self._install_faults()
+        self._wire_observations()
+        self._ran = False
+
+    # -- construction helpers --------------------------------------------------------
+
+    def _resolve_strategy(self, vertex: Vertex) -> tuple[type[SwapParty], dict[str, Any]]:
+        entry = self.strategies.get(vertex)
+        if entry is None:
+            return SwapParty, {}
+        if isinstance(entry, tuple):
+            cls, extra = entry
+            return cls, dict(extra)
+        return entry, {}
+
+    def _install_faults(self) -> None:
+        for vertex, crash in self.faults.crashes.items():
+            party = self.parties[vertex]
+            party.crash_plan = crash
+            if crash.at_time is not None:
+                when = crash.at_time
+
+                def crash_now(p: SwapParty = party, t: int = when) -> None:
+                    if not p.is_halted:
+                        p.halt()
+                        self.trace.record(t, tr.PARTY_CRASHED, p.address, at_time=t)
+
+                self.scheduler.at(when, crash_now, label=f"{vertex}:crash")
+
+    def _wire_observations(self) -> None:
+        """Chain records become delayed observations for relevant parties."""
+        relevant: dict[str, list[SwapParty]] = {}
+        for arc in self.digraph.arcs:
+            chain = self.network.chain_for_arc(arc)
+            head, tail = arc
+            relevant.setdefault(chain.chain_id, []).extend(
+                [self.parties[head], self.parties[tail]]
+            )
+        relevant[BROADCAST_CHAIN_ID] = list(self.parties.values())
+
+        def on_record(chain: Blockchain, record: Record, now: int) -> None:
+            for party in relevant.get(chain.chain_id, ()):
+                if party.is_halted:
+                    continue
+                party.wake_after(
+                    party.profile.reaction_delay,
+                    lambda p=party, c=chain, r=record, t=now: p.on_chain_record(c, r, t),
+                    label=f"{party.address}:observe",
+                )
+
+        self.network.subscribe_all(on_record)
+
+    # -- running ------------------------------------------------------------------------
+
+    def run(self) -> SwapResult:
+        """Run to quiescence and classify the outcome."""
+        if self._ran:
+            raise SimulationError("a SwapSimulation instance runs once")
+        self._ran = True
+        for vertex, party in self.parties.items():
+            self.scheduler.at(
+                self.spec.start_time,
+                lambda p=party: None if p.is_halted else p.start(),
+                label=f"{vertex}:start",
+            )
+        events = self.scheduler.run()
+        return self._collect(events)
+
+    def _collect(self, events_fired: int) -> SwapResult:
+        conforming = frozenset(
+            v
+            for v in self.digraph.vertices
+            if type(self.parties[v]) is SwapParty and v not in self.faults.crashes
+        )
+        return collect_result(
+            spec=self.spec,
+            config=self.config,
+            network=self.network,
+            trace=self.trace,
+            parties=self.parties,
+            conforming=conforming,
+            events_fired=events_fired,
+        )
+
+
+def collect_result(
+    spec: Any,
+    config: SwapConfig,
+    network: ChainNetwork,
+    trace: Trace,
+    parties: dict[Vertex, Any],
+    conforming: frozenset[Vertex],
+    events_fired: int,
+) -> SwapResult:
+    """Derive a :class:`SwapResult` from final chain state (ground truth).
+
+    Shared by the general runner, the §4.6 single-leader runner, and the
+    baseline runners — an arc is *triggered* iff its asset ended up owned
+    by the arc's tail, regardless of which contract type moved it.
+    """
+    triggered: set[Arc] = set()
+    refunded: set[Arc] = set()
+    stuck: set[Arc] = set()
+    for arc in spec.digraph.arcs:
+        head, tail = arc
+        chain = network.chain_for_arc(arc)
+        owner = chain.assets.owner(f"asset@{head}->{tail}")
+        if owner == tail:
+            triggered.add(arc)
+        elif owner.startswith(chain.chain_id):
+            stuck.add(arc)
+        elif owner == head and any(
+            getattr(c, "refunded", False) for c in chain.contracts()
+        ):
+            refunded.add(arc)
+
+    outcomes = classify_all(spec.digraph, triggered)
+    return SwapResult(
+        spec=spec,
+        config=config,
+        network=network,
+        trace=trace,
+        parties=parties,
+        conforming=conforming,
+        triggered=frozenset(triggered),
+        refunded=frozenset(refunded),
+        stuck_in_escrow=frozenset(stuck),
+        outcomes=outcomes,
+        events_fired=events_fired,
+    )
+
+
+def run_swap(
+    digraph: Digraph,
+    leaders: tuple[Vertex, ...] | list[Vertex] | None = None,
+    config: SwapConfig | None = None,
+    faults: FaultPlan | None = None,
+    strategies: dict[Vertex, StrategySpec] | None = None,
+    profiles: dict[Vertex, ReactionProfile] | None = None,
+    asset_values: dict[Arc, int] | None = None,
+) -> SwapResult:
+    """One-call convenience wrapper: build a :class:`SwapSimulation`, run it."""
+    return SwapSimulation(
+        digraph,
+        leaders=leaders,
+        config=config,
+        faults=faults,
+        strategies=strategies,
+        profiles=profiles,
+        asset_values=asset_values,
+    ).run()

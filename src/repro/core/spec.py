@@ -1,0 +1,220 @@
+"""The published swap instance: digraph, leaders, hashlocks, timing.
+
+§4.2: the market-clearing service "publishes a swap digraph D = (V, A), a
+vector L ⊂ V of leaders forming a feedback vertex set, a vector of those
+leaders' hashlocks h0...hl, and a starting time T".  A :class:`SwapSpec`
+is exactly that publication, plus the timing parameters every contract
+needs (``Δ``, the agreed ``diam(D)`` value, and the optional timeout slack
+discussed in DESIGN.md §2) and the key directory used to verify hashkey
+signature chains.
+
+The spec is common knowledge: every party and every contract holds (a copy
+of) it, which is what Theorem 4.10's ``O(|A|^2)`` space bound charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.signatures import SignatureScheme
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.digraph.feedback import require_feedback_vertex_set
+from repro.digraph.paths import (
+    EXACT_LONGEST_PATH_LIMIT,
+    diameter,
+    is_strongly_connected,
+    longest_path_length,
+)
+from repro.errors import ClearingError, NotStronglyConnectedError
+
+
+@dataclass
+class SwapSpec:
+    """Everything common knowledge among the parties of one swap.
+
+    Attributes:
+        digraph: The swap digraph ``D``; vertices are party addresses.
+        leaders: Ordered leader vector ``L``; index ``i`` owns hashlock ``i``.
+        hashlocks: ``h_i = H(s_i)`` for each leader, in leader order.
+        start_time: The protocol starting time ``T`` in ticks.
+        delta: The paper's ``Δ`` in ticks.
+        diam: The ``diam(D)`` value all contracts use in deadline formulas
+            (an upper bound is safe; see DESIGN.md §2).
+        timeout_slack: Extra Δ-multiples added to every hashkey deadline.
+            ``0`` reproduces Fig. 5 line 28 verbatim.
+        directory: Published address → public-key directory.
+        schemes: Signature scheme instances by name, shared by all parties
+            and contracts (stateful schemes require shared instances).
+    """
+
+    digraph: Digraph
+    leaders: tuple[Vertex, ...]
+    hashlocks: tuple[bytes, ...]
+    start_time: int
+    delta: int
+    diam: int
+    timeout_slack: int = 0
+    directory: KeyDirectory = field(default_factory=KeyDirectory)
+    schemes: dict[str, SignatureScheme] = field(default_factory=dict)
+    broadcast_unlock_enabled: bool = False
+    """When True, contracts accept the §4.5 broadcast short-circuit paths
+    (a logical arc from every follower directly to each leader)."""
+
+    _longest_cache: dict[tuple[Vertex, Vertex], int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not is_strongly_connected(self.digraph):
+            raise NotStronglyConnectedError(
+                "swap digraphs must be strongly connected (Theorem 3.5)"
+            )
+        if len(self.leaders) != len(set(self.leaders)):
+            raise ClearingError("duplicate leader")
+        if not self.leaders:
+            raise ClearingError("at least one leader is required")
+        for leader in self.leaders:
+            if not self.digraph.has_vertex(leader):
+                raise ClearingError(f"leader {leader!r} is not a party")
+        require_feedback_vertex_set(self.digraph, set(self.leaders))
+        if len(self.hashlocks) != len(self.leaders):
+            raise ClearingError(
+                f"{len(self.leaders)} leaders but {len(self.hashlocks)} hashlocks"
+            )
+        if self.delta <= 0:
+            raise ClearingError("delta must be positive")
+        if self.start_time < 0:
+            raise ClearingError("start_time must be non-negative")
+        if self.diam < 1:
+            raise ClearingError("diam must be at least 1")
+        if self.timeout_slack < 0:
+            raise ClearingError("timeout_slack must be non-negative")
+
+    # -- roles -------------------------------------------------------------------
+
+    @property
+    def parties(self) -> tuple[Vertex, ...]:
+        return self.digraph.vertices
+
+    def is_leader(self, address: Vertex) -> bool:
+        return address in self.leaders
+
+    def is_follower(self, address: Vertex) -> bool:
+        return self.digraph.has_vertex(address) and address not in self.leaders
+
+    def lock_count(self) -> int:
+        return len(self.leaders)
+
+    def lock_index_of(self, leader: Vertex) -> int:
+        try:
+            return self.leaders.index(leader)
+        except ValueError:
+            raise ClearingError(f"{leader!r} is not a leader") from None
+
+    def leader_of_lock(self, lock_index: int) -> Vertex:
+        if not 0 <= lock_index < len(self.leaders):
+            raise ClearingError(f"no hashlock with index {lock_index}")
+        return self.leaders[lock_index]
+
+    # -- deadlines (§4.1) ----------------------------------------------------------
+
+    def hashkey_deadline(self, path_length: int) -> int:
+        """Absolute expiry of a hashkey whose path has ``path_length`` arcs.
+
+        §4.1: "A hashkey (s, p, σ) times out at time (diam(D) + |p|)·Δ
+        after the start of the protocol" (plus the configured slack).
+        """
+        if path_length < 0:
+            raise ClearingError("path length cannot be negative")
+        return self.start_time + (self.diam + path_length + self.timeout_slack) * self.delta
+
+    def longest_path_to(self, source: Vertex, leader: Vertex) -> int:
+        """Cached ``D(source, leader)`` (longest simple path length)."""
+        key = (source, leader)
+        if key not in self._longest_cache:
+            self._longest_cache[key] = longest_path_length(
+                self.digraph, source, leader
+            )
+        return self._longest_cache[key]
+
+    def lock_final_timeout(self, arc: Arc, lock_index: int) -> int:
+        """When hashlock ``lock_index`` has timed out *on this arc*.
+
+        §4.1: "A hashlock has timed out on an arc when all of its hashkeys
+        on that arc have timed out."  The latest valid hashkey follows the
+        longest simple path from the arc's counterparty to the lock's
+        leader, so the final timeout is
+        ``start + (diam + D(counterparty, leader_i) + slack)·Δ``.
+        """
+        _, counterparty = arc
+        leader = self.leader_of_lock(lock_index)
+        longest = self.longest_path_to(counterparty, leader)
+        if self.broadcast_unlock_enabled and counterparty != leader:
+            # The logical follower→leader arc adds a path of length 1, which
+            # is never the longest unless the graph is tiny; max for safety.
+            longest = max(longest, 1)
+        return self.start_time + (self.diam + longest + self.timeout_slack) * self.delta
+
+    def latest_timeout(self, arc: Arc) -> int:
+        """The latest final timeout across all hashlocks on ``arc``."""
+        return max(
+            self.lock_final_timeout(arc, i) for i in range(self.lock_count())
+        )
+
+    def phase_two_bound(self) -> int:
+        """Theorem 4.7's bound: all triggers by ``start + 2·diam·Δ``.
+
+        With nonzero slack the bound loosens accordingly.
+        """
+        return self.start_time + (2 * self.diam + self.timeout_slack) * self.delta
+
+    # -- path validation (Fig. 5 line 30) --------------------------------------------
+
+    def is_valid_hashkey_path(
+        self, path: tuple[Vertex, ...], lock_index: int, counterparty: Vertex
+    ) -> bool:
+        """Check ``p`` runs from the counterparty to the lock's leader in D.
+
+        With the broadcast optimisation enabled, the logical direct arc
+        ``(counterparty, leader)`` is also accepted (§4.5).
+        """
+        if not path:
+            return False
+        if path[0] != counterparty:
+            return False
+        if path[-1] != self.leader_of_lock(lock_index):
+            return False
+        if self.digraph.is_path(path):
+            return True
+        if (
+            self.broadcast_unlock_enabled
+            and len(path) == 2
+            and self.digraph.has_vertex(path[0])
+        ):
+            # Logical arc from any party straight to the leader.
+            return True
+        return False
+
+    # -- storage accounting -------------------------------------------------------------
+
+    def stored_fields_size_bytes(self) -> int:
+        """Bytes one contract stores for its copy of the spec-derived state.
+
+        Fig. 4's long-lived fields: the digraph, the leader vector, the
+        hashlock vector, and the timelock vector (one final timeout per
+        lock), plus the scalar timing fields.
+        """
+        digraph_bytes = self.digraph.encoded_size_bytes()
+        leaders_bytes = sum(len(l.encode()) for l in self.leaders)
+        hashlock_bytes = 32 * len(self.hashlocks)
+        timelock_bytes = 8 * len(self.leaders)
+        scalars = 8 * 4  # start, delta, diam, slack
+        return digraph_bytes + leaders_bytes + hashlock_bytes + timelock_bytes + scalars
+
+
+def compute_diameter_for_spec(
+    digraph: Digraph, exact_limit: int = EXACT_LONGEST_PATH_LIMIT
+) -> int:
+    """The ``diam`` value a clearing service publishes for ``digraph``."""
+    return diameter(digraph, exact_limit=exact_limit)

@@ -1,0 +1,704 @@
+"""The single-leader protocol of §4.6: plain timeouts, no signatures.
+
+When the swap digraph has a single leader ``v̂`` (so the follower
+subdigraph is acyclic), hashkeys collapse to per-arc timeouts: arc
+``(u, v)`` gets timeout ``(diam(D) + D(v, v̂) + 1)·Δ`` (Lemma 4.13), which
+guarantees every conforming follower at least ``Δ`` between any leaving
+arc's timeout and every entering arc's timeout.  Contracts shrink to the
+classic hashed timelock contract (one hashlock, one deadline, no digital
+signatures) — bench E15 quantifies the savings.
+
+Figure 6's point is reproduced by :func:`assign_timeouts`: the assignment
+exists iff the follower subdigraph is acyclic, i.e. the leader alone is a
+feedback vertex set; otherwise :class:`TimeoutAssignmentError` explains
+which cycle blocks it.
+
+The module also provides the simulated party (:class:`SingleLeaderParty`)
+and runner (:class:`SingleLeaderSimulation`) for this variant.  Both are
+deliberately independent of the hashkey machinery so the two protocols can
+be compared head-to-head; the runner additionally accepts an arbitrary
+timeout assignment, which the *naive* baseline abuses to demonstrate the
+attack that motivates hashkeys (see
+:mod:`repro.baselines.naive_timelock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chain.assets import Asset
+from repro.chain.blockchain import Blockchain
+from repro.chain.contracts import Contract
+from repro.chain.ledger import Record
+from repro.chain.network import ChainNetwork
+from repro.core.protocol import SwapConfig, SwapResult, collect_result
+from repro.crypto.hashing import hash_secret, matches, sha256
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.digraph.paths import (
+    diameter,
+    find_cycle,
+    is_strongly_connected,
+    longest_path_length,
+)
+from repro.errors import (
+    AssetError,
+    AuthorizationError,
+    ContractError,
+    ContractStateError,
+    NotStronglyConnectedError,
+    SimulationError,
+    TimeoutAssignmentError,
+)
+from repro.sim import trace as tr
+from repro.sim.faults import CrashPoint, FaultPlan
+from repro.sim.process import Process, ReactionProfile
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+
+# ---------------------------------------------------------------------------
+# Timeout assignment (Lemma 4.13 / Figure 6)
+# ---------------------------------------------------------------------------
+
+
+def assign_timeouts(
+    digraph: Digraph,
+    leader: Vertex,
+    delta: int,
+    start_time: int = 0,
+    exact_limit: int = 14,
+) -> dict[Arc, int]:
+    """§4.6's assignment: arc ``(u, v)`` expires at
+    ``start + (diam(D) + D(v, v̂) + 1)·Δ``.
+
+    Raises :class:`TimeoutAssignmentError` when the follower subdigraph is
+    cyclic (Figure 6, right): no Δ-gapped assignment exists across a
+    follower cycle.
+    """
+    if not digraph.has_vertex(leader):
+        raise TimeoutAssignmentError(f"unknown leader {leader!r}")
+    followers = digraph.remove_vertices([leader])
+    cycle = find_cycle(followers)
+    if cycle is not None:
+        raise TimeoutAssignmentError(
+            f"follower subdigraph has cycle {cycle}; timeouts cannot keep a "
+            "Δ gap across a cycle (Fig. 6) — use the hashkey protocol with "
+            "more leaders"
+        )
+    diam = diameter(digraph, exact_limit=exact_limit)
+    timeouts: dict[Arc, int] = {}
+    for (u, v) in digraph.arcs:
+        distance = longest_path_length(digraph, v, leader, exact_limit=exact_limit)
+        timeouts[(u, v)] = start_time + (diam + distance + 1) * delta
+    return timeouts
+
+
+def verify_gap_property(
+    digraph: Digraph, leader: Vertex, timeouts: dict[Arc, int], delta: int
+) -> bool:
+    """Lemma 4.13's conclusion: for every follower ``v``, each entering
+    arc's timeout exceeds each leaving arc's timeout by at least ``Δ``."""
+    for v in digraph.vertices:
+        if v == leader:
+            continue
+        entering = [timeouts[a] for a in digraph.in_arcs(v)]
+        leaving = [timeouts[a] for a in digraph.out_arcs(v)]
+        if not entering or not leaving:
+            continue
+        if min(entering) < max(leaving) + delta:
+            return False
+    return True
+
+
+def equal_timeouts(
+    digraph: Digraph, delta: int, start_time: int = 0, multiple: int | None = None
+) -> dict[Arc, int]:
+    """The *naive* assignment: every arc expires at the same moment.
+
+    Exists for any digraph — and is exactly what the §1 discussion warns
+    about: "If Carol's contract with Bob were to expire at the same time as
+    Bob's contract with Alice, then Carol could reveal s ... at the very
+    last moment, leaving Bob no time to collect".  Used by the baseline.
+    """
+    if multiple is None:
+        multiple = 2 * diameter(digraph)
+    deadline = start_time + multiple * delta
+    return {arc: deadline for arc in digraph.arcs}
+
+
+# ---------------------------------------------------------------------------
+# The classic hashed timelock contract (single hashlock, single deadline)
+# ---------------------------------------------------------------------------
+
+
+class SimpleTimelockContract(Contract):
+    """The two-party HTLC of §4.1's opening: ``(h, t)`` plus an asset.
+
+    ``unlock(secret)`` (counterparty, before ``t``) reveals the secret
+    on-chain; ``claim`` transfers once unlocked; ``refund`` (party, at or
+    after ``t``) returns the escrow while still locked.
+    """
+
+    CALLABLE = frozenset({"unlock", "refund", "claim"})
+
+    def __init__(
+        self,
+        arc: Arc,
+        asset: Asset,
+        hashlock: bytes,
+        timeout: int,
+        start_time: int,
+    ) -> None:
+        super().__init__(asset)
+        self.arc = arc
+        self.party, self.counterparty = arc
+        self.hashlock = hashlock
+        self.timeout = timeout
+        self.start_time = start_time
+        self.unlocked = False
+        self.revealed_secret: bytes | None = None
+        self.unlock_time: int | None = None
+        self.claimed = False
+        self.refunded = False
+
+    def unlock(self, caller: str, now: int, secret: bytes) -> bool:
+        if caller != self.counterparty:
+            raise AuthorizationError(
+                f"unlock is counterparty-only ({self.counterparty}); called by {caller}"
+            )
+        self._require_live()
+        if self.unlocked:
+            return True
+        if now >= self.timeout:
+            raise ContractStateError(f"timed out at {self.timeout} (now {now})")
+        if not matches(self.hashlock, secret):
+            raise ContractStateError("secret does not match hashlock")
+        self.unlocked = True
+        self.revealed_secret = secret
+        self.unlock_time = now
+        return True
+
+    def claim(self, caller: str, now: int) -> bool:
+        if caller != self.counterparty:
+            raise AuthorizationError(
+                f"claim is counterparty-only ({self.counterparty}); called by {caller}"
+            )
+        self._require_live()
+        if not self.unlocked:
+            raise ContractStateError("hashlock still locked")
+        assert self.chain is not None
+        self.claimed = True
+        self._halt()
+        self.chain.release_escrow(self, self.counterparty, now)
+        return True
+
+    def refund(self, caller: str, now: int) -> bool:
+        if caller != self.party:
+            raise AuthorizationError(
+                f"refund is party-only ({self.party}); called by {caller}"
+            )
+        self._require_live()
+        if self.unlocked:
+            raise ContractStateError("hashlock already unlocked; refund impossible")
+        if now < self.timeout:
+            raise ContractStateError(
+                f"not yet timed out (timeout {self.timeout}, now {now})"
+            )
+        assert self.chain is not None
+        self.refunded = True
+        self._halt()
+        self.chain.release_escrow(self, self.party, now)
+        return True
+
+    @property
+    def triggered(self) -> bool:
+        return self.claimed
+
+    def state_view(self) -> dict[str, Any]:
+        return {
+            "arc": list(self.arc),
+            "party": self.party,
+            "counterparty": self.counterparty,
+            "asset_id": self.asset.asset_id,
+            "hashlock": self.hashlock.hex(),
+            "timeout": self.timeout,
+            "start_time": self.start_time,
+            "unlocked": self.unlocked,
+            "claimed": self.claimed,
+            "refunded": self.refunded,
+            "halted": self.is_halted,
+        }
+
+    def storage_size_bytes(self) -> int:
+        """No digraph copy, no hashlock vector: O(1) storage per contract."""
+        endpoint_bytes = len(self.party.encode()) + len(self.counterparty.encode())
+        asset_bytes = len(self.asset.asset_id.encode())
+        return 32 + 8 + 8 + 1 + endpoint_bytes + asset_bytes
+
+
+# ---------------------------------------------------------------------------
+# Published spec for the single-leader variant
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SingleLeaderSpec:
+    """Common knowledge for a §4.6 swap: digraph, leader, hashlock, timeouts."""
+
+    digraph: Digraph
+    leader: Vertex
+    hashlock: bytes
+    timeouts: dict[Arc, int]
+    start_time: int
+    delta: int
+    diam: int
+
+    def __post_init__(self) -> None:
+        if not is_strongly_connected(self.digraph):
+            raise NotStronglyConnectedError(
+                "swap digraphs must be strongly connected (Theorem 3.5)"
+            )
+        missing = [a for a in self.digraph.arcs if a not in self.timeouts]
+        if missing:
+            raise TimeoutAssignmentError(f"arcs without timeouts: {missing}")
+
+    @property
+    def leaders(self) -> tuple[Vertex, ...]:
+        """Duck-type compatibility with :class:`~repro.core.spec.SwapSpec`."""
+        return (self.leader,)
+
+    def phase_two_bound(self) -> int:
+        """All triggers happen by the latest arc timeout."""
+        return max(self.timeouts.values())
+
+    def expected_contract_state(self, arc: Arc, asset_id: str) -> dict[str, Any]:
+        head, tail = arc
+        return {
+            "arc": [head, tail],
+            "party": head,
+            "counterparty": tail,
+            "asset_id": asset_id,
+            "hashlock": self.hashlock.hex(),
+            "timeout": self.timeouts[arc],
+            "start_time": self.start_time,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Party behaviour (§4.6 = §4.5 with secrets instead of hashkeys)
+# ---------------------------------------------------------------------------
+
+
+class SingleLeaderParty(Process):
+    """Conforming participant of the single-leader timeout protocol."""
+
+    def __init__(
+        self,
+        name: Vertex,
+        spec: SingleLeaderSpec,
+        network: ChainNetwork,
+        assets: dict[Arc, Asset],
+        trace: Trace,
+        scheduler: Scheduler,
+        profile: ReactionProfile,
+        secret: bytes | None = None,
+    ) -> None:
+        super().__init__(name, scheduler, profile)
+        self.address = name
+        self.spec = spec
+        self.network = network
+        self.assets = assets
+        self.trace = trace
+        self.secret = secret
+        self.is_leader = name == spec.leader
+        if self.is_leader and secret is None:
+            raise SimulationError(f"leader {name} needs its secret")
+        self.entering = spec.digraph.in_arcs(name)
+        self.leaving = spec.digraph.out_arcs(name)
+
+        self.verified_incoming: set[Arc] = set()
+        self.incoming_contract_ids: dict[Arc, str] = {}
+        self.outgoing_contract_ids: dict[Arc, str] = {}
+        self.known_secret: bytes | None = secret if self.is_leader else None
+        self.claimed: set[Arc] = set()
+        self.refunded: set[Arc] = set()
+        self.published = False
+        self.abandoned = False
+        self.crash_plan = None
+
+    # -- crash hook (same contract points as the general party) ---------------------
+
+    def _maybe_crash(self, point: CrashPoint) -> bool:
+        if self.crash_plan is not None and self.crash_plan.at_point is point:
+            self.halt()
+            self.trace.record(
+                self.scheduler.now, tr.PARTY_CRASHED, self.address, point=point.value
+            )
+            return True
+        return False
+
+    # -- Phase One --------------------------------------------------------------------
+
+    def start(self) -> None:
+        # Leaders publish at T with contracts prepared in advance (§4.2
+        # gives them at least Δ of warning) — see SwapParty.start.
+        if self._maybe_crash(CrashPoint.AT_START):
+            return
+        if self.is_leader:
+            self._publish_outgoing()
+
+    def _publish_outgoing(self) -> None:
+        if self.abandoned or self.published:
+            return
+        self.published = True
+        now = self.scheduler.now
+        for arc in self.leaving:
+            if not self.should_publish(arc):
+                continue
+            contract = self.make_contract(arc)
+            chain = self.network.chain_for_arc(arc)
+            try:
+                contract_id = chain.publish_contract(contract, self.address, now)
+            except (AssetError, ContractError) as error:
+                self.trace.record(
+                    now, tr.CONTRACT_REJECTED, self.address, arc=list(arc), error=str(error)
+                )
+                continue
+            self.outgoing_contract_ids[arc] = contract_id
+            self.trace.record(
+                now, tr.CONTRACT_PUBLISHED, self.address, arc=list(arc), contract_id=contract_id
+            )
+            delay = max(0, self.spec.timeouts[arc] - now) + self.profile.action_delay
+            self.wake_after(
+                delay,
+                lambda a=arc, cid=contract_id: self._try_refund(a, cid),
+                label=f"{self.address}:refund-watch",
+            )
+        self._maybe_crash(CrashPoint.AFTER_PHASE_ONE_PUBLISH)
+
+    def should_publish(self, arc: Arc) -> bool:
+        return True
+
+    def make_contract(self, arc: Arc) -> SimpleTimelockContract:
+        return SimpleTimelockContract(
+            arc=arc,
+            asset=self.assets[arc],
+            hashlock=self.spec.hashlock,
+            timeout=self.spec.timeouts[arc],
+            start_time=self.spec.start_time,
+        )
+
+    # -- observation dispatch -------------------------------------------------------------
+
+    def on_chain_record(self, chain: Blockchain, record: Record, landed_at: int) -> None:
+        if record.kind == "contract_published":
+            self._on_contract_published(record)
+        elif record.kind == "contract_call" and record.payload.get("ok"):
+            if record.payload.get("method") == "unlock":
+                self._on_unlock_observed(record)
+
+    def _on_contract_published(self, record: Record) -> None:
+        state = record.payload.get("state", {})
+        arc_value = state.get("arc")
+        if not arc_value:
+            return
+        arc: Arc = (arc_value[0], arc_value[1])
+        if arc not in self.entering or arc in self.incoming_contract_ids:
+            return
+        expected = self.spec.expected_contract_state(arc, self.assets[arc].asset_id)
+        if not all(state.get(k) == v for k, v in expected.items()):
+            self.abandoned = True
+            self.trace.record(
+                self.scheduler.now,
+                tr.PROTOCOL_ABANDONED,
+                self.address,
+                arc=list(arc),
+                reason="incorrect contract",
+            )
+            return
+        self.incoming_contract_ids[arc] = record.payload["contract_id"]
+        self.verified_incoming.add(arc)
+        if self.known_secret is not None:
+            self._schedule_unlock(arc)
+        self._maybe_advance_phase()
+
+    def _maybe_advance_phase(self) -> None:
+        if self.abandoned or len(self.verified_incoming) != len(self.entering):
+            return
+        if self.is_leader:
+            if self._maybe_crash(CrashPoint.BEFORE_PHASE_TWO):
+                return
+            self.trace.record(self.scheduler.now, tr.PHASE_STARTED, self.address, phase=2)
+            for arc in self.entering:
+                self._schedule_unlock(arc)
+        elif not self.published:
+            self.wake_after(
+                self.profile.action_delay, self._publish_outgoing, label=f"{self.address}:publish"
+            )
+
+    def _on_unlock_observed(self, record: Record) -> None:
+        state = record.payload.get("state", {})
+        arc_value = state.get("arc")
+        if not arc_value:
+            return
+        arc: Arc = (arc_value[0], arc_value[1])
+        if arc not in self.leaving or self.known_secret is not None:
+            return
+        if self._maybe_crash(CrashPoint.BEFORE_PHASE_TWO):
+            return
+        secret = record.payload.get("args", {}).get("secret")
+        if secret is None or not matches(self.spec.hashlock, secret):
+            return
+        self.known_secret = secret
+        for arc_in in self.entering:
+            if arc_in in self.incoming_contract_ids:
+                self._schedule_unlock(arc_in)
+
+    # -- Phase Two actions -----------------------------------------------------------------
+
+    def _schedule_unlock(self, arc: Arc) -> None:
+        if not self.should_unlock(arc):
+            return
+        self.wake_after(
+            self.unlock_delay(arc),
+            lambda a=arc: self._send_unlock(a),
+            label=f"{self.address}:unlock",
+        )
+
+    def should_unlock(self, arc: Arc) -> bool:
+        return True
+
+    def unlock_delay(self, arc: Arc) -> int:
+        return self.profile.action_delay
+
+    def _send_unlock(self, arc: Arc) -> None:
+        if self.abandoned or self.known_secret is None:
+            return
+        contract_id = self.incoming_contract_ids.get(arc)
+        if contract_id is None or arc in self.claimed:
+            return
+        now = self.scheduler.now
+        if now >= self.spec.timeouts[arc]:
+            return  # rational parties do not submit doomed transactions
+        chain = self.network.chain_for_arc(arc)
+        contract = chain.contract(contract_id)
+        if contract.is_halted:
+            return
+        try:
+            if not getattr(contract, "unlocked", False):
+                chain.call(contract_id, "unlock", self.address, now, {"secret": self.known_secret})
+                self.trace.record(
+                    now, tr.HASHLOCK_UNLOCKED, self.address, arc=list(arc), lock_index=0
+                )
+        except ContractError:
+            return
+        self.wake_after(
+            self.profile.action_delay,
+            lambda a=arc, cid=contract_id: self._send_claim(a, cid),
+            label=f"{self.address}:claim",
+        )
+
+    def _send_claim(self, arc: Arc, contract_id: str) -> None:
+        if arc in self.claimed:
+            return
+        now = self.scheduler.now
+        chain = self.network.chain_for_arc(arc)
+        contract = chain.contract(contract_id)
+        if contract.is_halted or not getattr(contract, "unlocked", False):
+            return
+        try:
+            chain.call(contract_id, "claim", self.address, now)
+        except ContractError:
+            return
+        self.claimed.add(arc)
+        self.trace.record(now, tr.ARC_TRIGGERED, self.address, arc=list(arc))
+
+    def _try_refund(self, arc: Arc, contract_id: str) -> None:
+        if arc in self.refunded:
+            return
+        now = self.scheduler.now
+        chain = self.network.chain_for_arc(arc)
+        contract = chain.contract(contract_id)
+        if contract.is_halted or getattr(contract, "unlocked", False):
+            return
+        if now < self.spec.timeouts[arc]:
+            return
+        try:
+            chain.call(contract_id, "refund", self.address, now)
+        except ContractError:
+            return
+        self.refunded.add(arc)
+        self.trace.record(now, tr.ARC_REFUNDED, self.address, arc=list(arc))
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+class SingleLeaderSimulation:
+    """Build and run a §4.6 single-leader, signature-free swap.
+
+    ``timeouts`` defaults to the safe §4.6 assignment; baselines pass a
+    different (broken) assignment to reproduce the attacks.
+    """
+
+    def __init__(
+        self,
+        digraph: Digraph,
+        leader: Vertex | None = None,
+        config: SwapConfig | None = None,
+        faults: FaultPlan | None = None,
+        strategies: dict[Vertex, Any] | None = None,
+        timeouts: dict[Arc, int] | None = None,
+        party_class: type[SingleLeaderParty] = SingleLeaderParty,
+    ) -> None:
+        self.config = config or SwapConfig()
+        self.faults = faults or FaultPlan.none()
+        self.strategies = strategies or {}
+        if not is_strongly_connected(digraph):
+            raise NotStronglyConnectedError("swap digraphs must be strongly connected")
+        self.digraph = digraph
+        start = self.config.resolved_start()
+
+        if leader is None:
+            leader = _find_single_leader(digraph)
+        self.leader = leader
+
+        if timeouts is None:
+            timeouts = assign_timeouts(
+                digraph, leader, self.config.delta, start, self.config.exact_limit
+            )
+        diam = diameter(digraph, exact_limit=self.config.exact_limit)
+        secret = sha256(f"sl-secret:{self.config.seed}:{leader}".encode())
+        self.secret = secret
+        self.spec = SingleLeaderSpec(
+            digraph=digraph,
+            leader=leader,
+            hashlock=hash_secret(secret),
+            timeouts=timeouts,
+            start_time=start,
+            delta=self.config.delta,
+            diam=diam,
+        )
+
+        self.network = ChainNetwork.for_digraph(digraph, include_broadcast=False)
+        self.assets = self.network.register_arc_assets(digraph, now=0)
+        self.scheduler = Scheduler()
+        self.trace = Trace()
+        profile = ReactionProfile.fractions(
+            self.config.delta, self.config.reaction_fraction, self.config.action_fraction
+        )
+
+        self.parties: dict[Vertex, SingleLeaderParty] = {}
+        for vertex in digraph.vertices:
+            entry = self.strategies.get(vertex)
+            if entry is None:
+                cls, extra = party_class, {}
+            elif isinstance(entry, tuple):
+                cls, extra = entry[0], dict(entry[1])
+            else:
+                cls, extra = entry, {}
+            self.parties[vertex] = cls(
+                name=vertex,
+                spec=self.spec,
+                network=self.network,
+                assets=self.assets,
+                trace=self.trace,
+                scheduler=self.scheduler,
+                profile=profile,
+                secret=secret if vertex == leader else None,
+                **extra,
+            )
+
+        for vertex, crash in self.faults.crashes.items():
+            party = self.parties[vertex]
+            party.crash_plan = crash
+            if crash.at_time is not None:
+
+                def crash_now(p=party, t=crash.at_time) -> None:
+                    if not p.is_halted:
+                        p.halt()
+                        self.trace.record(t, tr.PARTY_CRASHED, p.address, at_time=t)
+
+                self.scheduler.at(crash.at_time, crash_now, label=f"{vertex}:crash")
+
+        relevant: dict[str, list[SingleLeaderParty]] = {}
+        for arc in digraph.arcs:
+            chain = self.network.chain_for_arc(arc)
+            head, tail = arc
+            relevant.setdefault(chain.chain_id, []).extend(
+                [self.parties[head], self.parties[tail]]
+            )
+
+        def on_record(chain: Blockchain, record: Record, now: int) -> None:
+            for party in relevant.get(chain.chain_id, ()):
+                if party.is_halted:
+                    continue
+                party.wake_after(
+                    party.profile.reaction_delay,
+                    lambda p=party, c=chain, r=record, t=now: p.on_chain_record(c, r, t),
+                    label=f"{party.address}:observe",
+                )
+
+        self.network.subscribe_all(on_record)
+        self._ran = False
+
+    def run(self) -> SwapResult:
+        if self._ran:
+            raise SimulationError("a SingleLeaderSimulation instance runs once")
+        self._ran = True
+        for vertex, party in self.parties.items():
+            self.scheduler.at(
+                self.spec.start_time,
+                lambda p=party: None if p.is_halted else p.start(),
+                label=f"{vertex}:start",
+            )
+        events = self.scheduler.run()
+        conforming = frozenset(
+            v
+            for v in self.digraph.vertices
+            if type(self.parties[v]) is SingleLeaderParty
+            and v not in self.faults.crashes
+        )
+        return collect_result(
+            spec=self.spec,
+            config=self.config,
+            network=self.network,
+            trace=self.trace,
+            parties=self.parties,
+            conforming=conforming,
+            events_fired=events,
+        )
+
+
+def _find_single_leader(digraph: Digraph) -> Vertex:
+    """A vertex that alone forms a feedback vertex set, if any."""
+    from repro.digraph.feedback import is_feedback_vertex_set
+
+    for vertex in digraph.vertices:
+        if is_feedback_vertex_set(digraph, {vertex}):
+            return vertex
+    raise TimeoutAssignmentError(
+        "no single vertex is a feedback vertex set; the §4.6 variant does "
+        "not apply (use the general hashkey protocol)"
+    )
+
+
+def run_single_leader_swap(
+    digraph: Digraph,
+    leader: Vertex | None = None,
+    config: SwapConfig | None = None,
+    faults: FaultPlan | None = None,
+    strategies: dict[Vertex, Any] | None = None,
+    timeouts: dict[Arc, int] | None = None,
+) -> SwapResult:
+    """Convenience wrapper mirroring :func:`repro.core.protocol.run_swap`."""
+    return SingleLeaderSimulation(
+        digraph,
+        leader=leader,
+        config=config,
+        faults=faults,
+        strategies=strategies,
+        timeouts=timeouts,
+    ).run()

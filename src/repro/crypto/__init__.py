@@ -1,0 +1,54 @@
+"""Cryptographic substrate: hashing, keys, signatures, signature chains.
+
+See :mod:`repro.crypto.hashing` for the paper's ``H(.)``,
+:mod:`repro.crypto.signatures` for the pluggable signature schemes, and
+:mod:`repro.crypto.sigchain` for the nested hashkey signature chains.
+"""
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    SECRET_SIZE,
+    hash_secret,
+    matches,
+    random_secret,
+    sha256,
+)
+from repro.crypto.keys import KeyDirectory, KeyPair, derive_address
+from repro.crypto.sigchain import (
+    SignatureChain,
+    extend_chain,
+    sign_secret,
+    verify_chain,
+)
+from repro.crypto.signatures import (
+    DEFAULT_SCHEME_NAME,
+    EcdsaSecp256k1Scheme,
+    HmacRegistryScheme,
+    LamportScheme,
+    SignatureScheme,
+    get_scheme,
+    scheme_names,
+)
+
+__all__ = [
+    "DIGEST_SIZE",
+    "SECRET_SIZE",
+    "hash_secret",
+    "matches",
+    "random_secret",
+    "sha256",
+    "KeyDirectory",
+    "KeyPair",
+    "derive_address",
+    "SignatureChain",
+    "extend_chain",
+    "sign_secret",
+    "verify_chain",
+    "DEFAULT_SCHEME_NAME",
+    "EcdsaSecp256k1Scheme",
+    "HmacRegistryScheme",
+    "LamportScheme",
+    "SignatureScheme",
+    "get_scheme",
+    "scheme_names",
+]

@@ -1,0 +1,82 @@
+"""Hashing primitives: the paper's ``H(.)``, secrets, and hashlocks.
+
+The paper models hashlocks as ``h = H(s)`` for a secret ``s`` and a
+cryptographic hash function ``H``.  We use SHA-256 throughout.  Secrets and
+hashlock values are raw ``bytes``; helpers convert to hex for display.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from random import Random
+
+SECRET_SIZE = 32
+"""Length in bytes of a freshly generated secret."""
+
+DIGEST_SIZE = 32
+"""Length in bytes of a SHA-256 digest (and hence of every hashlock)."""
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_secret(secret: bytes) -> bytes:
+    """The paper's ``H(s)``: derive the hashlock for ``secret``."""
+    if not isinstance(secret, (bytes, bytearray)):
+        raise TypeError(f"secret must be bytes, got {type(secret).__name__}")
+    return sha256(bytes(secret))
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256, used by the registry signature scheme and ECDSA nonces."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def random_secret(rng: Random | None = None) -> bytes:
+    """Generate a fresh ``SECRET_SIZE``-byte secret.
+
+    A :class:`random.Random` instance may be supplied for deterministic
+    simulations; otherwise a module-level non-seeded generator is used.
+    Simulation code always passes an explicit ``rng`` so that whole protocol
+    executions are reproducible from a single seed.
+    """
+    generator = rng if rng is not None else _DEFAULT_RNG
+    return generator.randbytes(SECRET_SIZE)
+
+
+def matches(hashlock: bytes, secret: bytes) -> bool:
+    """Check ``hashlock == H(secret)`` in constant time."""
+    return hmac.compare_digest(hashlock, hash_secret(secret))
+
+
+def derive_bytes(seed: bytes, label: bytes, count: int) -> bytes:
+    """Deterministically expand ``seed`` into ``count`` bytes.
+
+    Used by key generation (Lamport key material, deterministic ECDSA keys)
+    so that a party's entire key can be reproduced from one seed.  The
+    expansion is a simple counter-mode construction over SHA-256.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    blocks = []
+    produced = 0
+    counter = 0
+    while produced < count:
+        block = sha256(seed + label + counter.to_bytes(8, "big"))
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:count]
+
+
+def to_hex(data: bytes, length: int | None = 8) -> str:
+    """Render ``data`` as hex, abbreviated to ``length`` bytes for display."""
+    if length is None or len(data) <= length:
+        return data.hex()
+    return data[:length].hex() + "..."
+
+
+_DEFAULT_RNG = Random()

@@ -1,0 +1,114 @@
+"""Key material shared by every signature scheme.
+
+A :class:`KeyPair` couples a private signing key with its public
+verification key and the *address* derived from the public key.  Addresses
+are what appear in swap digraphs, in contracts (``party`` /
+``counterparty``), and in hashkey paths, mirroring how blockchains identify
+parties by key-derived addresses rather than by key bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha256
+
+ADDRESS_SIZE = 20
+"""Length in bytes of a derived address (Ethereum-style truncated hash)."""
+
+
+def derive_address(public_key: bytes) -> str:
+    """Derive a printable address from a public key.
+
+    The address is the hex encoding of the trailing ``ADDRESS_SIZE`` bytes of
+    ``sha256(public_key)``, prefixed with ``0x``.
+    """
+    return "0x" + sha256(public_key)[-ADDRESS_SIZE:].hex()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private/public key pair plus its on-chain address.
+
+    Attributes:
+        scheme: Name of the signature scheme that produced the pair.
+        private_key: Scheme-specific secret key bytes.  Never published.
+        public_key: Scheme-specific public key bytes.
+        address: Printable identifier.  Key generation derives it from the
+            public key; :meth:`renamed` rebinds it to a human name (swap
+            digraph vertices are names like ``"Alice"``, and the published
+            key directory maps those names to public keys).
+    """
+
+    scheme: str
+    private_key: bytes = field(repr=False)
+    public_key: bytes
+    address: str
+
+    @classmethod
+    def from_keys(cls, scheme: str, private_key: bytes, public_key: bytes) -> "KeyPair":
+        """Build a pair, deriving the address from ``public_key``."""
+        return cls(
+            scheme=scheme,
+            private_key=private_key,
+            public_key=public_key,
+            address=derive_address(public_key),
+        )
+
+    def renamed(self, address: str) -> "KeyPair":
+        """The same key material published under a different address/name."""
+        if not address:
+            raise ValueError("address must be non-empty")
+        return KeyPair(
+            scheme=self.scheme,
+            private_key=self.private_key,
+            public_key=self.public_key,
+            address=address,
+        )
+
+
+class KeyDirectory:
+    """Maps addresses to public keys.
+
+    The market-clearing service publishes this directory alongside the swap
+    digraph so that contracts can verify hashkey signature chains: given a
+    path of addresses, the contract looks up each signer's public key here.
+    The directory is append-only; re-registering an address with a different
+    key is rejected, modelling the immutability of published identities.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[str, bytes] = {}
+        self._schemes: dict[str, str] = {}
+
+    def register(self, keypair: KeyPair) -> None:
+        """Publish ``keypair``'s public half under its address."""
+        existing = self._keys.get(keypair.address)
+        if existing is not None and existing != keypair.public_key:
+            raise ValueError(f"address {keypair.address} already registered")
+        self._keys[keypair.address] = keypair.public_key
+        self._schemes[keypair.address] = keypair.scheme
+
+    def public_key(self, address: str) -> bytes:
+        """Look up the public key for ``address``."""
+        try:
+            return self._keys[address]
+        except KeyError:
+            raise KeyError(f"address {address} not in key directory") from None
+
+    def scheme(self, address: str) -> str:
+        """Name of the signature scheme ``address`` registered with."""
+        try:
+            return self._schemes[address]
+        except KeyError:
+            raise KeyError(f"address {address} not in key directory") from None
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def addresses(self) -> list[str]:
+        """All registered addresses, in registration order."""
+        return list(self._keys)

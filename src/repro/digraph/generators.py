@@ -1,0 +1,201 @@
+"""Swap-digraph generators: the paper's examples plus benchmark families.
+
+Every generator returns a :class:`~repro.digraph.digraph.Digraph` whose
+vertex names are stable strings, so simulations built on them are
+deterministic.  The families used by the benchmarks:
+
+* :func:`cycle_digraph` — the three-way swap of §1 generalised to ``n``
+  parties (single-leader, acyclic follower subdigraph);
+* :func:`complete_digraph` — the densest swap (Fig. 6/7/8 use the complete
+  digraph on three parties);
+* :func:`random_strongly_connected` — a random Hamiltonian cycle plus
+  random chords, the generic strongly connected workload;
+* :func:`petal_digraph` — ``k`` cycles sharing one vertex (single-leader
+  with high diameter);
+* :func:`two_cycles_sharing_vertex` — the smallest interesting theta-like
+  family;
+* :func:`not_strongly_connected_example` — for the impossibility benches
+  (Lemma 3.4);
+* :func:`layered_crown` — bipartite-ish family with large minimum FVS,
+  stressing multi-leader behaviour.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.errors import DigraphError
+
+
+def _names(n: int, prefix: str = "P") -> list[Vertex]:
+    if n < 1:
+        raise DigraphError("need at least one vertex")
+    width = max(2, len(str(n - 1)))
+    return [f"{prefix}{i:0{width}d}" for i in range(n)]
+
+
+def triangle(names: tuple[str, str, str] = ("Alice", "Bob", "Carol")) -> Digraph:
+    """The paper's §1 three-way swap: Alice→Bob→Carol→Alice.
+
+    Arc ``(u, v)`` means ``u`` transfers an asset to ``v``: Alice pays Bob
+    alt-coins, Bob pays Carol bitcoins, Carol transfers the Cadillac title
+    to Alice.
+    """
+    a, b, c = names
+    return Digraph([a, b, c], [(a, b), (b, c), (c, a)])
+
+
+def cycle_digraph(n: int, prefix: str = "P") -> Digraph:
+    """A single directed cycle on ``n >= 2`` vertices.
+
+    Any single vertex is a minimum FVS, so this is the canonical
+    single-leader family; ``diam = n - 1``.
+    """
+    if n < 2:
+        raise DigraphError("a cycle needs at least two vertices")
+    names = _names(n, prefix)
+    arcs = [(names[i], names[(i + 1) % n]) for i in range(n)]
+    return Digraph(names, arcs)
+
+
+def complete_digraph(n_or_names: int | list[str]) -> Digraph:
+    """All ordered pairs: every party transfers to every other.
+
+    The complete digraph on three vertices is the graph in Figures 6-8.
+    Its minimum FVS has ``n - 1`` vertices, making it the maximal-leader
+    family.
+    """
+    if isinstance(n_or_names, int):
+        names = _names(n_or_names)
+    else:
+        names = list(n_or_names)
+    if len(names) < 2:
+        raise DigraphError("a complete digraph needs at least two vertices")
+    arcs = [(u, v) for u in names for v in names if u != v]
+    return Digraph(names, arcs)
+
+
+def two_leader_triangle() -> Digraph:
+    """The two-leader digraph of Figures 7 and 8.
+
+    The complete digraph on ``A, B, C``; ``{A, B}`` is a (minimum) FVS
+    because removing both leaves the single vertex ``C``.
+    """
+    return complete_digraph(["A", "B", "C"])
+
+
+def random_strongly_connected(
+    n: int,
+    extra_arc_probability: float = 0.25,
+    rng: Random | None = None,
+    prefix: str = "P",
+) -> Digraph:
+    """A random strongly connected digraph.
+
+    Construction: a random Hamiltonian cycle (guaranteeing strong
+    connectivity) plus each remaining ordered pair independently with
+    probability ``extra_arc_probability``.
+    """
+    if n < 2:
+        raise DigraphError("need at least two vertices")
+    if not 0.0 <= extra_arc_probability <= 1.0:
+        raise DigraphError("extra_arc_probability must be within [0, 1]")
+    rng = rng if rng is not None else Random()
+    names = _names(n, prefix)
+    order = list(names)
+    rng.shuffle(order)
+    arcs: list[Arc] = [(order[i], order[(i + 1) % n]) for i in range(n)]
+    arc_set = set(arcs)
+    for u in names:
+        for v in names:
+            if u == v or (u, v) in arc_set:
+                continue
+            if rng.random() < extra_arc_probability:
+                arcs.append((u, v))
+                arc_set.add((u, v))
+    return Digraph(names, arcs)
+
+
+def two_cycles_sharing_vertex(left: int = 3, right: int = 3) -> Digraph:
+    """Two directed cycles of sizes ``left`` and ``right`` sharing one vertex.
+
+    The shared vertex alone is a minimum FVS, so the digraph is single-leader
+    with diameter roughly ``left + right - 2``.
+    """
+    if left < 2 or right < 2:
+        raise DigraphError("each cycle needs at least two vertices")
+    hub = "HUB"
+    left_names = [f"L{i:02d}" for i in range(left - 1)]
+    right_names = [f"R{i:02d}" for i in range(right - 1)]
+    vertices = [hub] + left_names + right_names
+    arcs: list[Arc] = []
+    chain = [hub] + left_names + [hub]
+    arcs += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    chain = [hub] + right_names + [hub]
+    arcs += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    return Digraph(vertices, arcs)
+
+
+def petal_digraph(petals: int, petal_size: int = 3) -> Digraph:
+    """``petals`` cycles of ``petal_size`` vertices all sharing a hub vertex.
+
+    Generalises :func:`two_cycles_sharing_vertex`; the hub is the unique
+    minimum FVS, making this the stress family for single-leader swaps with
+    many concurrent cycles.
+    """
+    if petals < 1:
+        raise DigraphError("need at least one petal")
+    if petal_size < 2:
+        raise DigraphError("petals need at least two vertices")
+    hub = "HUB"
+    vertices = [hub]
+    arcs: list[Arc] = []
+    for p in range(petals):
+        names = [f"C{p:02d}V{i:02d}" for i in range(petal_size - 1)]
+        vertices += names
+        chain = [hub] + names + [hub]
+        arcs += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    return Digraph(vertices, arcs)
+
+
+def layered_crown(layers: int, width: int = 2) -> Digraph:
+    """``layers`` rings of ``width`` vertices; consecutive rings fully linked.
+
+    Ring ``i`` sends to every vertex of ring ``i+1`` (mod ``layers``), so
+    the digraph is strongly connected, has many arc-disjoint cycles, and a
+    minimum FVS of about ``width`` vertices — a good multi-leader workload.
+    """
+    if layers < 2:
+        raise DigraphError("need at least two layers")
+    if width < 1:
+        raise DigraphError("layers need at least one vertex")
+    vertices = [f"T{i:02d}W{j:02d}" for i in range(layers) for j in range(width)]
+    arcs = [
+        (f"T{i:02d}W{j:02d}", f"T{(i + 1) % layers:02d}W{k:02d}")
+        for i in range(layers)
+        for j in range(width)
+        for k in range(width)
+    ]
+    return Digraph(vertices, arcs)
+
+
+def not_strongly_connected_example() -> Digraph:
+    """The Lemma 3.4 counterexample shape: ``X`` can reach ``Y`` but not back.
+
+    ``X = {X0, X1}`` is a 2-cycle, ``Y = {Y0, Y1}`` is a 2-cycle, and one
+    arc crosses from ``X`` to ``Y``.  Coalition ``X`` can free-ride by
+    triggering only its internal arcs.
+    """
+    return Digraph(
+        ["X0", "X1", "Y0", "Y1"],
+        [("X0", "X1"), ("X1", "X0"), ("Y0", "Y1"), ("Y1", "Y0"), ("X0", "Y0")],
+    )
+
+
+def chain_digraph(n: int, prefix: str = "P") -> Digraph:
+    """A directed path (NOT strongly connected) — for impossibility tests."""
+    if n < 2:
+        raise DigraphError("a chain needs at least two vertices")
+    names = _names(n, prefix)
+    return Digraph(names, [(names[i], names[i + 1]) for i in range(n - 1)])

@@ -1,0 +1,119 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type to handle any library failure.  Subpackages raise the most
+specific subclass that applies; the class names mirror the vocabulary of the
+paper (digraphs, contracts, hashkeys, clearing, simulation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Digraph substrate
+# ---------------------------------------------------------------------------
+
+
+class DigraphError(ReproError):
+    """Structural problem with a digraph (bad vertex, bad arc, ...)."""
+
+
+class NotStronglyConnectedError(DigraphError):
+    """A strongly connected digraph was required (Theorem 3.5)."""
+
+
+class NotFeedbackVertexSetError(DigraphError):
+    """The proposed leader set is not a feedback vertex set (Theorem 4.12)."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto substrate
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """Signature creation or verification failed structurally."""
+
+
+class KeyReuseError(CryptoError):
+    """A one-time key (Lamport) was asked to sign a second message."""
+
+
+class UnknownKeyError(CryptoError):
+    """A public key was not recognised by the scheme's registry."""
+
+
+# ---------------------------------------------------------------------------
+# Blockchain substrate
+# ---------------------------------------------------------------------------
+
+
+class LedgerError(ReproError):
+    """Base class for ledger failures."""
+
+
+class TamperError(LedgerError):
+    """Hash-chain validation detected a mutated block or record."""
+
+
+class AssetError(ReproError):
+    """Asset ownership or escrow rules were violated."""
+
+
+class ContractError(ReproError):
+    """Base class for smart-contract failures."""
+
+
+class AuthorizationError(ContractError):
+    """A contract function was called by the wrong sender (``require`` fail)."""
+
+
+class ContractStateError(ContractError):
+    """A contract function was called in a state that forbids it."""
+
+
+# ---------------------------------------------------------------------------
+# Core protocol
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Base class for swap-protocol failures."""
+
+
+class TimeoutAssignmentError(ProtocolError):
+    """No safe timeout assignment exists (Figure 6, cyclic follower case)."""
+
+
+class InvalidHashkeyError(ContractError):
+    """A hashkey failed contract validation (deadline, secret, path, sigs).
+
+    Subclasses :class:`ContractError` so that a rejected ``unlock`` call is
+    recorded on-chain as a failed transaction, exactly like any other
+    reverted contract call.
+    """
+
+
+class ClearingError(ProtocolError):
+    """The market-clearing service rejected the offers or the digraph."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(SimulationError):
+    """Events were scheduled in the past or after the horizon."""

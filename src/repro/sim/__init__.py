@@ -1,0 +1,52 @@
+"""Discrete-event simulation substrate with the paper's Δ timing model."""
+
+from repro.sim.clock import DEFAULT_DELTA, Clock, ticks
+from repro.sim.events import Event, Priority
+from repro.sim.faults import Crash, CrashPoint, FaultPlan
+from repro.sim.process import (
+    DEFAULT_ACTION_FRACTION,
+    DEFAULT_REACTION_FRACTION,
+    Process,
+    ReactionProfile,
+)
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import (
+    ARC_REFUNDED,
+    ARC_TRIGGERED,
+    CONTRACT_PUBLISHED,
+    CONTRACT_REJECTED,
+    HASHLOCK_UNLOCKED,
+    PARTY_CRASHED,
+    PHASE_STARTED,
+    PROTOCOL_ABANDONED,
+    SECRET_BROADCAST,
+    Trace,
+    TraceEvent,
+)
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "Clock",
+    "ticks",
+    "Event",
+    "Priority",
+    "Crash",
+    "CrashPoint",
+    "FaultPlan",
+    "DEFAULT_ACTION_FRACTION",
+    "DEFAULT_REACTION_FRACTION",
+    "Process",
+    "ReactionProfile",
+    "Scheduler",
+    "ARC_REFUNDED",
+    "ARC_TRIGGERED",
+    "CONTRACT_PUBLISHED",
+    "CONTRACT_REJECTED",
+    "HASHLOCK_UNLOCKED",
+    "PARTY_CRASHED",
+    "PHASE_STARTED",
+    "PROTOCOL_ABANDONED",
+    "SECRET_BROADCAST",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,59 @@
+"""Virtual time.
+
+Time is a non-negative integer tick count; the paper's ``Δ`` is a tick
+duration (default :data:`DEFAULT_DELTA`).  Integer time makes deadline
+comparisons exact — the protocol's safety argument hinges on strict
+inequalities like ``now < start + (diam + |p|) * Δ`` (Fig. 5 line 28), and
+floats would blur exactly the boundary cases the benchmarks probe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+DEFAULT_DELTA = 1000
+"""Default length of the paper's Δ in ticks.
+
+Large enough that fractional conforming reaction times (e.g. ``0.45 * Δ``)
+are exactly representable as integers.
+"""
+
+
+class Clock:
+    """A monotonically advancing integer clock owned by the scheduler."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise SimulationError("clock cannot start before time 0")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance_to(self, when: int) -> None:
+        """Move the clock forward (never backward) to ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move clock backward from {self._now} to {when}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"
+
+
+def ticks(delta: int, multiple: float) -> int:
+    """``multiple * delta`` rounded to an integer tick count.
+
+    Used to express delays like "0.45 Δ"; rounds half up so that a positive
+    multiple never silently becomes zero unless it truly is zero.
+    """
+    if delta <= 0:
+        raise SimulationError("delta must be positive")
+    if multiple < 0:
+        raise SimulationError("delay multiple must be non-negative")
+    value = int(multiple * delta + 0.5)
+    if multiple > 0 and value == 0:
+        value = 1
+    return value

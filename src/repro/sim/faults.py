@@ -1,0 +1,73 @@
+"""Fault injection: crash/halt schedules for simulated parties.
+
+The paper's failure model is halting: "If any party halts while contracts
+are being deployed, then all contracts eventually time out and trigger
+refunds" (§1).  A :class:`FaultPlan` maps parties to crash triggers —
+either an absolute tick or a named protocol milestone — and the runner
+applies it.  Richer *deviating* behaviour (publishing wrong contracts,
+withholding secrets, colluding) lives in :mod:`repro.core.strategies`;
+faults here model parties that simply stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import SimulationError
+
+
+class CrashPoint(Enum):
+    """Protocol milestones a crash can be pinned to."""
+
+    AT_START = "at_start"
+    """Crash before doing anything at all."""
+
+    AFTER_PHASE_ONE_PUBLISH = "after_phase_one_publish"
+    """Crash immediately after publishing the party's outgoing contracts."""
+
+    BEFORE_PHASE_TWO = "before_phase_two"
+    """Deploy contracts but never unlock anything (halt between phases)."""
+
+    AFTER_FIRST_UNLOCK = "after_first_unlock"
+    """Send exactly one unlock, then halt (partial Phase Two)."""
+
+
+@dataclass(frozen=True)
+class Crash:
+    """A single party's crash trigger: a time, a milestone, or both.
+
+    When both are set, whichever fires first wins (the milestone hook
+    crashes the party only if it is still alive).
+    """
+
+    at_time: int | None = None
+    at_point: CrashPoint | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_time is None and self.at_point is None:
+            raise SimulationError("a Crash needs a time or a milestone")
+        if self.at_time is not None and self.at_time < 0:
+            raise SimulationError("crash time must be non-negative")
+
+
+@dataclass
+class FaultPlan:
+    """Crash assignments for a simulation run."""
+
+    crashes: dict[str, Crash] = field(default_factory=dict)
+
+    def crash(self, party: str, *, at_time: int | None = None, at_point: CrashPoint | None = None) -> "FaultPlan":
+        """Add a crash for ``party``; returns self for chaining."""
+        self.crashes[party] = Crash(at_time=at_time, at_point=at_point)
+        return self
+
+    def crash_for(self, party: str) -> Crash | None:
+        return self.crashes.get(party)
+
+    def crashed_parties(self) -> set[str]:
+        return set(self.crashes)
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()

@@ -1,0 +1,101 @@
+"""The discrete-event scheduler driving every simulation.
+
+A thin, deterministic priority-queue engine: callers schedule callbacks at
+absolute times or after delays, and :meth:`Scheduler.run` fires them in
+``(time, priority, seq)`` order, advancing the shared :class:`Clock`.
+An event budget guards against runaway simulations (a deviating-strategy
+bug could otherwise loop forever).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SchedulerError
+from repro.sim.clock import Clock
+from repro.sim.events import Event, Priority
+
+
+class Scheduler:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self, clock: Clock | None = None, max_events: int = 2_000_000) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._fired = 0
+        self._max_events = max_events
+        self._running = False
+
+    # -- scheduling -------------------------------------------------------------
+
+    def at(
+        self,
+        when: int,
+        action: Callable[[], None],
+        priority: int = Priority.WAKE,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute tick ``when``."""
+        if when < self.clock.now:
+            raise SchedulerError(
+                f"cannot schedule {label or 'event'} at {when}, "
+                f"clock is already at {self.clock.now}"
+            )
+        event = Event(time=when, priority=priority, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(
+        self,
+        delay: int,
+        action: Callable[[], None],
+        priority: int = Priority.WAKE,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise SchedulerError("delay must be non-negative")
+        return self.at(self.clock.now + delay, action, priority, label)
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, horizon: int | None = None) -> int:
+        """Fire events in order until the queue drains or ``horizon`` passes.
+
+        Events scheduled exactly at ``horizon`` still fire.  Returns the
+        number of events fired.  New events may be scheduled while running.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if horizon is not None and self._queue[0].time > horizon:
+                    break
+                event = heapq.heappop(self._queue)
+                self.clock.advance_to(event.time)
+                self._fired += 1
+                fired += 1
+                if self._fired > self._max_events:
+                    raise SchedulerError(
+                        f"event budget exceeded ({self._max_events}); "
+                        "likely a livelock in a party strategy"
+                    )
+                event.fire()
+            if horizon is not None and self.clock.now < horizon and not self._queue:
+                self.clock.advance_to(horizon)
+        finally:
+            self._running = False
+        return fired
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    @property
+    def now(self) -> int:
+        return self.clock.now

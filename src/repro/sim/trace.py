@@ -1,0 +1,129 @@
+"""Execution traces and metrics.
+
+Every simulation collects a :class:`Trace`: a time-ordered list of
+:class:`TraceEvent` entries covering contract publications, hashlock
+unlocks, claims, refunds, crashes, and protocol-phase transitions.  The
+benchmark harness derives all of its reported series from traces:
+
+* the Figure 1/2 timeline (publication and trigger times per arc);
+* Theorem 4.7's completion time, compared with ``2·diam(D)·Δ``;
+* Theorem 4.10's stored bytes and the ``O(|A|·|L|)`` published bytes;
+* per-party outcome classification inputs (which arcs were triggered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.digraph.digraph import Arc
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence inside a simulation."""
+
+    time: int
+    kind: str
+    party: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def arc(self) -> Arc | None:
+        """The arc this event concerns, if any."""
+        value = self.details.get("arc")
+        if value is None:
+            return None
+        head, tail = value
+        return (head, tail)
+
+
+class Trace:
+    """An append-only, time-ordered event log for one simulation run."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: int, kind: str, party: str, **details: Any) -> TraceEvent:
+        event = TraceEvent(time=time, kind=kind, party=party, details=details)
+        self._events.append(event)
+        return event
+
+    # -- queries -----------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def first(self, kind: str, **match: Any) -> TraceEvent | None:
+        for event in self._events:
+            if event.kind != kind:
+                continue
+            if all(event.details.get(k) == v for k, v in match.items()):
+                return event
+        return None
+
+    def last_time(self, kind: str | None = None) -> int | None:
+        events = self.events(kind)
+        if not events:
+            return None
+        return max(e.time for e in events)
+
+    def times_by_arc(self, kind: str) -> dict[Arc, int]:
+        """Earliest time each arc saw an event of ``kind``."""
+        out: dict[Arc, int] = {}
+        for event in self._events:
+            if event.kind != kind:
+                continue
+            arc = event.arc()
+            if arc is None:
+                continue
+            if arc not in out or event.time < out[arc]:
+                out[arc] = event.time
+        return out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    # -- rendering -----------------------------------------------------------------
+
+    def format_timeline(self, delta: int | None = None, kinds: Iterable[str] | None = None) -> str:
+        """A human-readable timeline, optionally restricted to ``kinds``.
+
+        With ``delta`` given, times are also shown as Δ-multiples — the
+        units Figures 1 and 2 use.
+        """
+        wanted = set(kinds) if kinds is not None else None
+        lines = []
+        for event in self._events:
+            if wanted is not None and event.kind not in wanted:
+                continue
+            stamp = f"t={event.time}"
+            if delta:
+                stamp += f" ({event.time / delta:.2f}Δ)"
+            arc = event.arc()
+            where = f" arc={arc[0]}->{arc[1]}" if arc else ""
+            extras = {
+                k: v for k, v in event.details.items() if k not in {"arc"}
+            }
+            extra_text = f" {extras}" if extras else ""
+            lines.append(f"{stamp:<22} {event.kind:<22} {event.party:<10}{where}{extra_text}")
+        return "\n".join(lines)
+
+
+# Canonical trace event kinds, so tests/benches don't scatter string literals.
+CONTRACT_PUBLISHED = "contract_published"
+CONTRACT_REJECTED = "contract_rejected"
+HASHLOCK_UNLOCKED = "hashlock_unlocked"
+ARC_TRIGGERED = "arc_triggered"
+ARC_REFUNDED = "arc_refunded"
+SECRET_BROADCAST = "secret_broadcast"
+PARTY_CRASHED = "party_crashed"
+PHASE_STARTED = "phase_started"
+PROTOCOL_ABANDONED = "protocol_abandoned"

@@ -1,0 +1,193 @@
+"""Tests for fault attribution and bonds (the §5 future-work feature).
+
+The central invariant, checked across the whole fault/strategy matrix:
+attribution never blames a conforming party, and always blames the party
+whose enabled transition went unexecuted.
+"""
+
+import pytest
+
+from repro.analysis.outcomes import Outcome
+from repro.core.accountability import (
+    FaultFinding,
+    attribute_faults,
+    settle_bonds,
+)
+from repro.core.protocol import run_swap
+from repro.core.strategies import (
+    GreedyClaimOnlyParty,
+    LastMomentUnlockParty,
+    RefuseToPublishParty,
+    SelectiveUnlockParty,
+    WithholdSecretParty,
+    WrongContractParty,
+)
+from repro.digraph.generators import (
+    complete_digraph,
+    cycle_digraph,
+    triangle,
+    two_leader_triangle,
+)
+from repro.sim.faults import CrashPoint, FaultPlan
+
+
+class TestCleanRuns:
+    def test_all_conforming_no_findings(self):
+        report = attribute_faults(run_swap(triangle()))
+        assert len(report) == 0
+
+    def test_two_leader_no_findings(self):
+        report = attribute_faults(run_swap(two_leader_triangle()))
+        assert len(report) == 0
+
+    def test_last_moment_is_not_a_fault(self):
+        # Slow-but-valid behaviour completes the swap: nothing to blame.
+        result = run_swap(
+            two_leader_triangle(), strategies={"C": LastMomentUnlockParty}
+        )
+        assert len(attribute_faults(result)) == 0
+
+
+class TestAttribution:
+    def test_refuser_blamed_for_unpublished_arc(self):
+        result = run_swap(triangle(), strategies={"Bob": RefuseToPublishParty})
+        report = attribute_faults(result)
+        assert report.faulty_parties() == {"Bob"}
+        kinds = {f.kind for f in report.findings_for("Bob")}
+        assert FaultFinding.UNPUBLISHED in kinds
+
+    def test_withholding_leader_blamed(self):
+        result = run_swap(triangle(), strategies={"Alice": WithholdSecretParty})
+        report = attribute_faults(result)
+        assert report.faulty_parties() == {"Alice"}
+        kinds = {f.kind for f in report.findings_for("Alice")}
+        assert FaultFinding.WITHHELD_SECRET in kinds
+
+    def test_wrong_contract_publisher_blamed_not_abandoner(self):
+        result = run_swap(triangle(), strategies={"Bob": WrongContractParty})
+        report = attribute_faults(result)
+        assert report.faulty_parties() == {"Bob"}
+        kinds = {f.kind for f in report.findings_for("Bob")}
+        assert FaultFinding.INCORRECT_CONTRACT in kinds
+        # Carol abandoned conformingly; she is excused despite not
+        # publishing on her leaving arc.
+
+    def test_crash_before_phase_two_blamed(self):
+        result = run_swap(
+            triangle(),
+            faults=FaultPlan().crash("Bob", at_point=CrashPoint.BEFORE_PHASE_TWO),
+        )
+        report = attribute_faults(result)
+        assert report.faulty_parties() == {"Bob"}
+        kinds = {f.kind for f in report.findings_for("Bob")}
+        assert FaultFinding.WITHHELD_RELAY in kinds
+
+    def test_crash_at_start_blames_only_crasher(self):
+        for victim in ["Alice", "Bob", "Carol"]:
+            result = run_swap(
+                triangle(), faults=FaultPlan().crash(victim, at_point=CrashPoint.AT_START)
+            )
+            report = attribute_faults(result)
+            if victim == "Alice":
+                # The leader never published: unconditionally enabled.
+                assert report.faulty_parties() == {"Alice"}
+            else:
+                assert report.faulty_parties() == {victim}
+
+    def test_selective_unlocker_blamed_for_withheld_relay(self):
+        result = run_swap(
+            two_leader_triangle(),
+            strategies={"C": (SelectiveUnlockParty, {"unlock_only": set()})},
+        )
+        report = attribute_faults(result)
+        assert "C" in report.faulty_parties()
+
+    def test_greedy_claim_only_blamed(self):
+        result = run_swap(triangle(), strategies={"Carol": GreedyClaimOnlyParty})
+        report = attribute_faults(result)
+        assert report.faulty_parties() == {"Carol"}
+
+
+class TestNeverBlamesConforming:
+    @pytest.mark.parametrize("victim", ["A", "B", "C"])
+    @pytest.mark.parametrize("point", list(CrashPoint), ids=lambda p: p.value)
+    def test_crash_matrix_two_leader(self, victim, point):
+        result = run_swap(
+            two_leader_triangle(), faults=FaultPlan().crash(victim, at_point=point)
+        )
+        report = attribute_faults(result)
+        assert report.faulty_parties() <= {victim}
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [RefuseToPublishParty, WithholdSecretParty, WrongContractParty,
+         GreedyClaimOnlyParty],
+        ids=lambda s: s.__name__,
+    )
+    @pytest.mark.parametrize("deviator", ["P00", "P02"])
+    def test_strategy_matrix_k4(self, strategy, deviator):
+        result = run_swap(complete_digraph(4), strategies={deviator: strategy})
+        report = attribute_faults(result)
+        assert report.faulty_parties() <= {deviator}
+
+    def test_cycle_crashes(self):
+        d = cycle_digraph(5)
+        for victim in d.vertices:
+            result = run_swap(
+                d, faults=FaultPlan().crash(victim, at_point=CrashPoint.BEFORE_PHASE_TWO)
+            )
+            report = attribute_faults(result)
+            assert report.faulty_parties() <= {victim}
+
+
+class TestBonds:
+    def test_clean_run_returns_all_bonds(self):
+        result = run_swap(triangle())
+        settlement = settle_bonds(result)
+        assert settlement.forfeited == {}
+        assert settlement.returned == {v: 100 for v in ["Alice", "Bob", "Carol"]}
+        assert settlement.conserves_value()
+
+    def test_faulty_party_forfeits_to_victims(self):
+        result = run_swap(triangle(), strategies={"Alice": WithholdSecretParty})
+        settlement = settle_bonds(result)
+        assert settlement.forfeited == {"Alice": 100}
+        # Bob and Carol ended NoDeal (worse than Deal): they split the bond.
+        assert sum(settlement.compensation.values()) == 100
+        assert set(settlement.compensation) == {"Bob", "Carol"}
+        assert settlement.conserves_value()
+
+    def test_crasher_compensates_underwater_party(self):
+        result = run_swap(
+            triangle(),
+            faults=FaultPlan().crash("Bob", at_point=CrashPoint.BEFORE_PHASE_TWO),
+        )
+        settlement = settle_bonds(result)
+        assert "Bob" in settlement.forfeited
+        # Bob's own Underwater outcome earns no compensation (he is faulty).
+        assert "Bob" not in settlement.compensation
+        assert settlement.conserves_value()
+
+    def test_odd_pool_splits_deterministically(self):
+        result = run_swap(triangle(), strategies={"Alice": WithholdSecretParty})
+        settlement = settle_bonds(result, bond_amount=101)
+        shares = sorted(settlement.compensation.values())
+        assert sum(shares) == 101
+        assert max(shares) - min(shares) <= 1
+
+    def test_custom_report_respected(self):
+        result = run_swap(triangle())
+        from repro.core.accountability import FaultReport
+
+        fabricated = FaultReport(
+            findings=[
+                FaultFinding(
+                    party="Carol", kind=FaultFinding.UNPUBLISHED, arc=None,
+                    evidence="fabricated for the test",
+                )
+            ]
+        )
+        # Everyone ended Deal, so there is nobody to compensate; the
+        # settlement refunds rather than burning.
+        settlement = settle_bonds(result, report=fabricated)
+        assert settlement.conserves_value()

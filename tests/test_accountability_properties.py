@@ -1,0 +1,81 @@
+"""Property-based tests for fault attribution (hypothesis).
+
+The attribution module's contract, fuzzed: over random strongly connected
+digraphs, random leader sets, and random crash/deviation assignments,
+chain-evidence attribution never blames a party that followed the
+protocol, and bond settlements always conserve value.
+"""
+
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.accountability import attribute_faults, settle_bonds
+from repro.core.protocol import run_swap
+from repro.core.strategies import (
+    GreedyClaimOnlyParty,
+    RefuseToPublishParty,
+    WithholdSecretParty,
+)
+from repro.digraph.generators import random_strongly_connected
+from repro.sim.faults import CrashPoint, FaultPlan
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+STRATEGY_MENU = [None, RefuseToPublishParty, WithholdSecretParty, GreedyClaimOnlyParty]
+
+
+@st.composite
+def fault_scenarios(draw):
+    n = draw(st.integers(min_value=3, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=3_000))
+    digraph = random_strongly_connected(n, 0.3, Random(seed))
+    deviators: dict = {}
+    crashes = FaultPlan()
+    deviating: set = set()
+    for index, vertex in enumerate(digraph.vertices):
+        choice = draw(st.integers(min_value=0, max_value=7))
+        if choice == 1:
+            crashes.crash(vertex, at_point=draw(st.sampled_from(list(CrashPoint))))
+            deviating.add(vertex)
+        elif choice == 2:
+            strategy = draw(st.sampled_from(STRATEGY_MENU[1:]))
+            deviators[vertex] = strategy
+            deviating.add(vertex)
+    return digraph, deviators, crashes, deviating
+
+
+@SLOW
+@given(fault_scenarios())
+def test_attribution_never_blames_conforming(scenario):
+    digraph, strategies, faults, deviating = scenario
+    result = run_swap(digraph, strategies=strategies, faults=faults)
+    report = attribute_faults(result)
+    assert report.faulty_parties() <= deviating, (
+        f"blamed {report.faulty_parties() - deviating} who conformed; "
+        f"findings: {[(f.party, f.kind) for f in report.findings]}"
+    )
+
+
+@SLOW
+@given(fault_scenarios(), st.integers(min_value=1, max_value=1_000))
+def test_bond_settlement_conserves_value(scenario, bond_amount):
+    digraph, strategies, faults, _ = scenario
+    result = run_swap(digraph, strategies=strategies, faults=faults)
+    settlement = settle_bonds(result, bond_amount=bond_amount)
+    assert settlement.conserves_value()
+    # Nobody is paid twice: returned and forfeited partition the parties.
+    assert not (set(settlement.returned) & set(settlement.forfeited))
+
+
+@SLOW
+@given(fault_scenarios())
+def test_clean_subruns_have_no_findings(scenario):
+    digraph, _, _, _ = scenario
+    result = run_swap(digraph)
+    assert len(attribute_faults(result)) == 0

@@ -1,0 +1,68 @@
+"""Public-surface tests: top-level exports and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_core_package_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None, name
+
+    def test_analysis_lazy_exports_resolve(self):
+        import repro.analysis as analysis
+
+        for name in analysis.__all__:
+            assert getattr(analysis, name) is not None, name
+
+    def test_digraph_exports_resolve(self):
+        import repro.digraph as digraph
+
+        for name in digraph.__all__:
+            assert getattr(digraph, name) is not None, name
+
+    def test_analysis_unknown_attribute(self):
+        import repro.analysis as analysis
+
+        with pytest.raises(AttributeError):
+            analysis.does_not_exist
+
+    def test_minimal_happy_path_through_top_level(self):
+        result = repro.run_swap(repro.triangle())
+        assert result.all_deal()
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parents(self):
+        assert issubclass(errors.NotStronglyConnectedError, errors.DigraphError)
+        assert issubclass(errors.NotFeedbackVertexSetError, errors.DigraphError)
+        assert issubclass(errors.TamperError, errors.LedgerError)
+        assert issubclass(errors.AuthorizationError, errors.ContractError)
+        assert issubclass(errors.ContractStateError, errors.ContractError)
+        assert issubclass(errors.InvalidHashkeyError, errors.ContractError)
+        assert issubclass(errors.TimeoutAssignmentError, errors.ProtocolError)
+        assert issubclass(errors.SchedulerError, errors.SimulationError)
+        assert issubclass(errors.KeyReuseError, errors.CryptoError)
+
+    def test_catching_the_base_class_works(self):
+        from repro.digraph.generators import chain_digraph
+
+        with pytest.raises(errors.ReproError):
+            repro.run_swap(chain_digraph(3))

@@ -1,0 +1,78 @@
+"""Unit tests for assets and the ownership registry."""
+
+import pytest
+
+from repro.chain.assets import Asset, AssetRegistry
+from repro.errors import AssetError
+
+
+class TestAsset:
+    def test_defaults(self):
+        asset = Asset("coin-1")
+        assert asset.value == 1 and asset.description == ""
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(AssetError):
+            Asset("")
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(AssetError):
+            Asset("coin", value=-1)
+
+    def test_frozen(self):
+        asset = Asset("coin")
+        with pytest.raises(AttributeError):
+            asset.value = 5  # type: ignore[misc]
+
+
+class TestRegistry:
+    def test_register_and_owner(self):
+        reg = AssetRegistry("chain-1")
+        reg.register(Asset("coin"), "alice")
+        assert reg.owner("coin") == "alice"
+
+    def test_double_register_rejected(self):
+        reg = AssetRegistry("chain-1")
+        reg.register(Asset("coin"), "alice")
+        with pytest.raises(AssetError):
+            reg.register(Asset("coin"), "bob")
+
+    def test_transfer(self):
+        reg = AssetRegistry("chain-1")
+        reg.register(Asset("coin"), "alice")
+        reg.transfer("coin", "alice", "bob")
+        assert reg.owner("coin") == "bob"
+
+    def test_transfer_requires_ownership(self):
+        reg = AssetRegistry("chain-1")
+        reg.register(Asset("coin"), "alice")
+        with pytest.raises(AssetError):
+            reg.transfer("coin", "mallory", "bob")
+        assert reg.owner("coin") == "alice"
+
+    def test_unknown_asset(self):
+        reg = AssetRegistry("chain-1")
+        with pytest.raises(AssetError):
+            reg.owner("ghost")
+        with pytest.raises(AssetError):
+            reg.transfer("ghost", "a", "b")
+
+    def test_holdings(self):
+        reg = AssetRegistry("chain-1")
+        reg.register(Asset("coin-1"), "alice")
+        reg.register(Asset("coin-2"), "alice")
+        reg.register(Asset("coin-3"), "bob")
+        assert {a.asset_id for a in reg.holdings("alice")} == {"coin-1", "coin-2"}
+
+    def test_snapshot_is_copy(self):
+        reg = AssetRegistry("chain-1")
+        reg.register(Asset("coin"), "alice")
+        snap = reg.snapshot()
+        snap["coin"] = "mallory"
+        assert reg.owner("coin") == "alice"
+
+    def test_asset_lookup(self):
+        reg = AssetRegistry("chain-1")
+        asset = Asset("coin", description="gold", value=5)
+        reg.register(asset, "alice")
+        assert reg.asset("coin") is asset

@@ -1,0 +1,172 @@
+"""Unit tests for the Blockchain service and contract hosting."""
+
+import pytest
+
+from repro.chain.assets import Asset
+from repro.chain.blockchain import Blockchain
+from repro.chain.contracts import Contract
+from repro.errors import (
+    AssetError,
+    AuthorizationError,
+    ContractError,
+    ContractStateError,
+)
+
+
+class ToyContract(Contract):
+    """Minimal contract: counterparty may take the asset; party may cancel."""
+
+    CALLABLE = frozenset({"take", "cancel"})
+
+    def __init__(self, asset, counterparty):
+        super().__init__(asset)
+        self.counterparty = counterparty
+        self.refunded = False
+
+    def take(self, caller, now):
+        if caller != self.counterparty:
+            raise AuthorizationError("take is counterparty-only")
+        self._require_live()
+        self._halt()
+        self.chain.release_escrow(self, self.counterparty, now)
+        return True
+
+    def cancel(self, caller, now):
+        if caller != self.creator:
+            raise AuthorizationError("cancel is creator-only")
+        self._require_live()
+        self.refunded = True
+        self._halt()
+        self.chain.release_escrow(self, self.creator, now)
+        return True
+
+    def state_view(self):
+        return {"counterparty": self.counterparty, "halted": self.is_halted}
+
+    def storage_size_bytes(self):
+        return 64
+
+
+@pytest.fixture
+def chain():
+    chain = Blockchain("chain-x")
+    chain.register_asset(Asset("coin"), "alice", now=0)
+    return chain
+
+
+class TestPublication:
+    def test_escrow_moves_to_contract(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        assert chain.assets.owner("coin") == cid
+        assert contract.is_published
+
+    def test_non_owner_cannot_publish(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        with pytest.raises(AssetError):
+            chain.publish_contract(contract, "mallory", now=1)
+        assert not contract.is_published
+        assert chain.assets.owner("coin") == "alice"
+
+    def test_double_publish_rejected(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        chain.publish_contract(contract, "alice", now=1)
+        with pytest.raises(ContractError):
+            chain.publish_contract(contract, "alice", now=2)
+
+    def test_publication_recorded(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        chain.publish_contract(contract, "alice", now=1)
+        kinds = [r.kind for r in chain.records()]
+        assert "contract_published" in kinds
+
+
+class TestCalls:
+    def test_successful_call_transfers(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        chain.call(cid, "take", "bob", now=2)
+        assert chain.assets.owner("coin") == "bob"
+
+    def test_failed_call_recorded_and_raises(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        with pytest.raises(AuthorizationError):
+            chain.call(cid, "take", "mallory", now=2)
+        failed = [
+            r
+            for r in chain.records()
+            if r.kind == "contract_call" and not r.payload["ok"]
+        ]
+        assert len(failed) == 1
+        assert chain.assets.owner("coin") == cid  # state unchanged
+
+    def test_unknown_method_rejected(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        with pytest.raises(ContractError):
+            chain.call(cid, "steal", "bob", now=2)
+
+    def test_unknown_contract_rejected(self, chain):
+        with pytest.raises(ContractError):
+            chain.call("ghost", "take", "bob", now=2)
+
+    def test_halted_contract_rejects_calls(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        chain.call(cid, "take", "bob", now=2)
+        with pytest.raises(ContractStateError):
+            chain.call(cid, "take", "bob", now=3)
+
+    def test_cancel_refunds(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        chain.call(cid, "cancel", "alice", now=2)
+        assert chain.assets.owner("coin") == "alice"
+
+
+class TestEscrowSafety:
+    def test_unhosted_contract_cannot_release(self, chain):
+        other_chain = Blockchain("other")
+        contract = ToyContract(Asset("coin"), "bob")
+        chain.publish_contract(contract, "alice", now=1)
+        with pytest.raises(ContractStateError):
+            other_chain.release_escrow(contract, "bob", now=2)
+
+    def test_double_release_blocked(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        chain.call(cid, "take", "bob", now=2)
+        with pytest.raises(AssetError):
+            chain.release_escrow(contract, "bob", now=3)
+
+
+class TestSubscriptionsAndData:
+    def test_subscribers_see_all_records(self, chain):
+        seen = []
+        chain.subscribe(lambda c, r, t: seen.append((r.kind, t)))
+        chain.publish_data("ping", "alice", {"x": 1}, now=5)
+        assert ("ping", 5) in seen
+
+    def test_publish_data_recorded(self, chain):
+        chain.publish_data("secret_broadcast", "alice", {"secret": b"s"}, now=3)
+        assert chain.records()[-1].kind == "secret_broadcast"
+
+
+class TestAccounting:
+    def test_published_vs_stored(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        chain.publish_contract(contract, "alice", now=1)
+        assert chain.published_bytes() > 0
+        assert chain.stored_bytes() > chain.published_bytes()  # headers included
+
+    def test_contract_storage(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        chain.publish_contract(contract, "alice", now=1)
+        assert chain.contract_storage_bytes() == 64
+
+    def test_ledger_integrity_after_activity(self, chain):
+        contract = ToyContract(Asset("coin"), "bob")
+        cid = chain.publish_contract(contract, "alice", now=1)
+        chain.call(cid, "take", "bob", now=2)
+        chain.ledger.verify_integrity()

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the blockchain substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.ledger import Block, Ledger, Record, canonical_encode
+from repro.errors import TamperError
+
+import pytest
+
+payloads = st.dictionaries(
+    keys=st.text(min_size=1, max_size=8),
+    values=st.one_of(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(max_size=16),
+        st.binary(max_size=16),
+        st.booleans(),
+        st.none(),
+    ),
+    max_size=4,
+)
+
+records = st.builds(
+    Record,
+    kind=st.sampled_from(["a", "b", "contract_call"]),
+    author=st.text(min_size=1, max_size=8),
+    payload=payloads,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(records, min_size=1, max_size=10))
+def test_any_record_sequence_keeps_integrity(record_list):
+    ledger = Ledger("prop")
+    for t, record in enumerate(record_list):
+        ledger.append(record, t)
+    ledger.verify_integrity()
+    assert len(ledger) == len(record_list)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(records, min_size=2, max_size=8),
+    st.integers(min_value=0, max_value=6),
+    payloads,
+)
+def test_any_block_mutation_is_detected(record_list, victim_index, new_payload):
+    ledger = Ledger("prop")
+    for t, record in enumerate(record_list):
+        ledger.append(record, t)
+    index = victim_index % len(ledger)
+    original = ledger._blocks[index]
+    mutated_record = Record(kind="mutated", author="mallory", payload=new_payload)
+    # Mutate and recompute the hash so only the chain linkage can catch it
+    # (except for the last block, caught by its own hash).
+    forged_hash = Block.compute_hash(
+        original.index, original.timestamp, original.prev_hash, (mutated_record,)
+    )
+    ledger._blocks[index] = Block(
+        index=original.index,
+        timestamp=original.timestamp,
+        prev_hash=original.prev_hash,
+        records=(mutated_record,),
+        block_hash=forged_hash,
+    )
+    if index == len(ledger) - 1 and forged_hash != original.block_hash:
+        # Tail forgery with a consistent hash is undetectable by the chain
+        # alone (real chains counter this with consensus); but our ledgers
+        # are only ever mutated through append, so re-verify catches any
+        # *interior* rewrite.
+        ledger._blocks[index] = Block(
+            index=original.index,
+            timestamp=original.timestamp,
+            prev_hash=original.prev_hash,
+            records=(mutated_record,),
+            block_hash=original.block_hash,
+        )
+    with pytest.raises(TamperError):
+        ledger.verify_integrity()
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_canonical_encoding_is_stable(payload):
+    assert canonical_encode(payload) == canonical_encode(payload)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads, payloads)
+def test_canonical_encoding_distinguishes_payload_sets(a, b):
+    # Not full injectivity (bytes/hex-string collisions are possible in
+    # principle) but key-set differences must always show.
+    if set(a) != set(b):
+        assert canonical_encode(a) != canonical_encode(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(records, min_size=1, max_size=8))
+def test_sizes_are_additive(record_list):
+    ledger = Ledger("prop")
+    running = 0
+    for t, record in enumerate(record_list):
+        block = ledger.append(record, t)
+        running += block.encoded_size_bytes()
+    assert ledger.total_size_bytes() == running

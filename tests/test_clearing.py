@@ -1,0 +1,263 @@
+"""Unit tests for the market-clearing service (§4.2)."""
+
+import pytest
+
+from repro.core.clearing import (
+    MarketClearingService,
+    Offer,
+    ProposedTransfer,
+    check_spec_against_offer,
+    match_barter,
+)
+from repro.crypto.hashing import hash_secret
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.signatures import get_scheme
+from repro.errors import ClearingError
+
+DELTA = 1000
+
+
+@pytest.fixture
+def env():
+    scheme = get_scheme("hmac-registry")
+    directory = KeyDirectory()
+    secrets = {}
+    for name in ["Alice", "Bob", "Carol", "Dave"]:
+        directory.register(scheme.keygen(seed=name.encode()).renamed(name))
+        secrets[name] = name.encode().ljust(32, b"\0")
+    service = MarketClearingService(
+        delta=DELTA, directory=directory, schemes={scheme.name: scheme}
+    )
+    return service, secrets, directory
+
+
+def offer(secrets, party, recipients):
+    return Offer(
+        party=party,
+        hashlock=hash_secret(secrets[party]),
+        transfers=tuple(ProposedTransfer(to=r) for r in recipients),
+    )
+
+
+def submit_triangle(service, secrets):
+    service.submit(offer(secrets, "Alice", ["Bob"]))
+    service.submit(offer(secrets, "Bob", ["Carol"]))
+    service.submit(offer(secrets, "Carol", ["Alice"]))
+
+
+class TestOfferValidation:
+    def test_valid_offer(self, env):
+        _, secrets, _ = env
+        o = offer(secrets, "Alice", ["Bob"])
+        assert o.party == "Alice"
+
+    def test_self_transfer_rejected(self, env):
+        _, secrets, _ = env
+        with pytest.raises(ClearingError):
+            offer(secrets, "Alice", ["Alice"])
+
+    def test_duplicate_recipient_rejected(self, env):
+        _, secrets, _ = env
+        with pytest.raises(ClearingError):
+            offer(secrets, "Alice", ["Bob", "Bob"])
+
+    def test_short_hashlock_rejected(self):
+        with pytest.raises(ClearingError):
+            Offer(party="Alice", hashlock=b"short", transfers=())
+
+    def test_unregistered_party_rejected(self, env):
+        service, secrets, _ = env
+        stranger = Offer(
+            party="Mallory",
+            hashlock=hash_secret(b"m"),
+            transfers=(ProposedTransfer(to="Alice"),),
+        )
+        with pytest.raises(ClearingError):
+            service.submit(stranger)
+
+
+class TestClearing:
+    def test_triangle_cleared(self, env):
+        service, secrets, _ = env
+        submit_triangle(service, secrets)
+        outcome = service.clear(now=0)
+        spec = outcome.spec
+        assert set(spec.digraph.arcs) == {
+            ("Alice", "Bob"), ("Bob", "Carol"), ("Carol", "Alice")
+        }
+        assert len(spec.leaders) == 1
+        assert spec.start_time == DELTA  # "at least Δ in the future"
+
+    def test_leader_hashlock_is_the_submitted_one(self, env):
+        service, secrets, _ = env
+        submit_triangle(service, secrets)
+        spec = service.clear(now=0).spec
+        leader = spec.leaders[0]
+        assert spec.hashlocks[0] == hash_secret(secrets[leader])
+
+    def test_values_carried_through(self, env):
+        service, secrets, _ = env
+        service.submit(
+            Offer(
+                party="Alice",
+                hashlock=hash_secret(secrets["Alice"]),
+                transfers=(ProposedTransfer(to="Bob", value=42),),
+            )
+        )
+        service.submit(offer(secrets, "Bob", ["Alice"]))
+        outcome = service.clear(now=0)
+        assert outcome.arc_values[("Alice", "Bob")] == 42
+
+    def test_not_strongly_connected_rejected(self, env):
+        service, secrets, _ = env
+        service.submit(offer(secrets, "Alice", ["Bob"]))
+        service.submit(offer(secrets, "Bob", []))
+        with pytest.raises(ClearingError, match="strongly connected"):
+            service.clear(now=0)
+
+    def test_transfer_to_non_participant_rejected(self, env):
+        service, secrets, _ = env
+        service.submit(offer(secrets, "Alice", ["Dave"]))
+        with pytest.raises(ClearingError, match="no offer"):
+            service.clear(now=0)
+
+    def test_no_offers_rejected(self, env):
+        service, _, _ = env
+        with pytest.raises(ClearingError):
+            service.clear(now=0)
+
+    def test_explicit_leaders_validated(self, env):
+        service, secrets, _ = env
+        for name in ["Alice", "Bob", "Carol"]:
+            service.submit(offer(secrets, name, [n for n in ["Alice", "Bob", "Carol"] if n != name]))
+        # K3 needs two leaders; one is not an FVS.
+        with pytest.raises(ClearingError, match="feedback"):
+            service.clear(now=0, leaders=("Alice",))
+
+    def test_resubmission_replaces(self, env):
+        service, secrets, _ = env
+        service.submit(offer(secrets, "Alice", ["Bob"]))
+        service.submit(offer(secrets, "Alice", ["Carol"]))
+        assert len(service.offers()) == 1
+        assert service.offers()[0].transfers[0].to == "Carol"
+
+    def test_spec_published_on_broadcast_chain(self, env):
+        from repro.chain.blockchain import Blockchain
+
+        service, secrets, _ = env
+        submit_triangle(service, secrets)
+        broadcast = Blockchain("broadcast")
+        service.clear(now=0, broadcast_chain=broadcast)
+        kinds = [r.kind for r in broadcast.records()]
+        assert "swap_spec_published" in kinds
+
+
+class TestConsistencyChecks:
+    def test_honest_spec_passes(self, env):
+        service, secrets, _ = env
+        submit_triangle(service, secrets)
+        spec = service.clear(now=0).spec
+        for o in service.offers():
+            assert check_spec_against_offer(spec, o) == []
+
+    def test_extra_arc_detected(self, env):
+        service, secrets, _ = env
+        submit_triangle(service, secrets)
+        spec = service.clear(now=0).spec
+        # A dishonest service slips in an extra transfer from Alice.
+        forged_digraph = spec.digraph.with_arcs([("Alice", "Carol")])
+        from repro.core.spec import SwapSpec
+
+        forged = SwapSpec(
+            digraph=forged_digraph,
+            leaders=spec.leaders,
+            hashlocks=spec.hashlocks,
+            start_time=spec.start_time,
+            delta=spec.delta,
+            diam=spec.diam,
+            directory=spec.directory,
+            schemes=spec.schemes,
+        )
+        alice_offer = next(o for o in service.offers() if o.party == "Alice")
+        problems = check_spec_against_offer(forged, alice_offer)
+        assert any("leaving arcs" in p for p in problems)
+
+    def test_missing_party_detected(self, env):
+        service, secrets, _ = env
+        submit_triangle(service, secrets)
+        spec = service.clear(now=0).spec
+        ghost = Offer(
+            party="Dave",
+            hashlock=hash_secret(secrets["Dave"]),
+            transfers=(ProposedTransfer(to="Alice"),),
+        )
+        problems = check_spec_against_offer(spec, ghost)
+        assert problems and "does not appear" in problems[0]
+
+    def test_swapped_hashlock_detected(self, env):
+        service, secrets, _ = env
+        submit_triangle(service, secrets)
+        spec = service.clear(now=0).spec
+        leader = spec.leaders[0]
+        from repro.core.spec import SwapSpec
+
+        forged = SwapSpec(
+            digraph=spec.digraph,
+            leaders=spec.leaders,
+            hashlocks=(hash_secret(b"not-yours"),),
+            start_time=spec.start_time,
+            delta=spec.delta,
+            diam=spec.diam,
+            directory=spec.directory,
+            schemes=spec.schemes,
+        )
+        leader_offer = next(o for o in service.offers() if o.party == leader)
+        problems = check_spec_against_offer(forged, leader_offer)
+        assert any("hashlock" in p for p in problems)
+
+
+class TestBarterMatching:
+    def test_three_way_cycle(self):
+        haves = {"Alice": "altcoins", "Bob": "bitcoins", "Carol": "cadillac"}
+        wants = {"Alice": "cadillac", "Bob": "altcoins", "Carol": "bitcoins"}
+        cycles = match_barter(haves, wants)
+        assert len(cycles) == 1
+        digraph = cycles[0]
+        assert set(digraph.arcs) == {
+            ("Alice", "Bob"), ("Bob", "Carol"), ("Carol", "Alice")
+        }
+
+    def test_two_disjoint_cycles(self):
+        haves = {"A": "1", "B": "2", "C": "3", "D": "4"}
+        wants = {"A": "2", "B": "1", "C": "4", "D": "3"}
+        cycles = match_barter(haves, wants)
+        assert len(cycles) == 2
+        assert all(d.arc_count() == 2 for d in cycles)
+
+    def test_unmatched_party_excluded(self):
+        haves = {"A": "1", "B": "2", "C": "3"}
+        wants = {"A": "2", "B": "1", "C": "99"}  # C wants something nobody has
+        cycles = match_barter(haves, wants)
+        assert len(cycles) == 1
+        assert "C" not in cycles[0].vertices
+
+    def test_self_satisfied_party_no_cycle(self):
+        haves = {"A": "1"}
+        wants = {"A": "1"}
+        assert match_barter(haves, wants) == []
+
+    def test_mismatched_parties_rejected(self):
+        with pytest.raises(ClearingError):
+            match_barter({"A": "1"}, {"B": "1"})
+
+    def test_duplicate_item_rejected(self):
+        with pytest.raises(ClearingError):
+            match_barter({"A": "1", "B": "1"}, {"A": "1", "B": "1"})
+
+    def test_cycles_are_swappable(self):
+        from repro.core.protocol import run_swap
+
+        haves = {"Alice": "altcoins", "Bob": "bitcoins", "Carol": "cadillac"}
+        wants = {"Alice": "cadillac", "Bob": "altcoins", "Carol": "bitcoins"}
+        digraph = match_barter(haves, wants)[0]
+        assert run_swap(digraph).all_deal()

@@ -1,0 +1,147 @@
+"""Unit tests for the Digraph type."""
+
+import pytest
+
+from repro.digraph.digraph import Digraph
+from repro.errors import DigraphError
+
+
+@pytest.fixture
+def k3():
+    return Digraph(
+        ["A", "B", "C"],
+        [("A", "B"), ("B", "A"), ("B", "C"), ("C", "B"), ("A", "C"), ("C", "A")],
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        d = Digraph([], [])
+        assert len(d) == 0 and d.arc_count() == 0
+
+    def test_vertices_preserve_order(self):
+        d = Digraph(["Z", "A", "M"], [])
+        assert d.vertices == ("Z", "A", "M")
+
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(DigraphError):
+            Digraph(["A", "A"], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DigraphError):
+            Digraph(["A"], [("A", "A")])
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(DigraphError):
+            Digraph(["A", "B"], [("A", "B"), ("A", "B")])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(DigraphError):
+            Digraph(["A"], [("A", "B")])
+
+    def test_non_string_vertex_rejected(self):
+        with pytest.raises(DigraphError):
+            Digraph([1, 2], [])  # type: ignore[list-item]
+
+    def test_malformed_arc_rejected(self):
+        with pytest.raises(DigraphError):
+            Digraph(["A", "B"], [("A",)])  # type: ignore[list-item]
+
+
+class TestAccessors:
+    def test_degrees(self, k3):
+        for v in k3:
+            assert k3.in_degree(v) == 2
+            assert k3.out_degree(v) == 2
+
+    def test_in_out_arcs(self, k3):
+        assert set(k3.out_arcs("A")) == {("A", "B"), ("A", "C")}
+        assert set(k3.in_arcs("A")) == {("B", "A"), ("C", "A")}
+
+    def test_has_arc(self, k3):
+        assert k3.has_arc("A", "B")
+        assert not k3.has_arc("A", "A")
+
+    def test_unknown_vertex_raises(self, k3):
+        with pytest.raises(DigraphError):
+            k3.out_neighbors("Z")
+
+
+class TestDerived:
+    def test_transpose_reverses(self, k3):
+        t = k3.transpose()
+        for (u, v) in k3.arcs:
+            assert t.has_arc(v, u)
+        assert t.arc_count() == k3.arc_count()
+
+    def test_double_transpose_identity(self, k3):
+        assert k3.transpose().transpose() == k3
+
+    def test_subdigraph_induced(self, k3):
+        sub = k3.subdigraph(["A", "B"])
+        assert set(sub.arcs) == {("A", "B"), ("B", "A")}
+
+    def test_remove_vertices(self, k3):
+        rest = k3.remove_vertices(["C"])
+        assert set(rest.vertices) == {"A", "B"}
+        assert set(rest.arcs) == {("A", "B"), ("B", "A")}
+
+    def test_with_arcs(self):
+        d = Digraph(["A", "B", "C"], [("A", "B")])
+        bigger = d.with_arcs([("B", "C")])
+        assert bigger.has_arc("B", "C")
+        assert not d.has_arc("B", "C")
+
+
+class TestPathPredicate:
+    def test_degenerate_path(self, k3):
+        assert k3.is_path(("A",))
+
+    def test_simple_path(self, k3):
+        assert k3.is_path(("A", "B", "C"))
+
+    def test_cycle_allowed(self, k3):
+        assert k3.is_path(("A", "B", "C", "A"))
+
+    def test_missing_arc(self):
+        d = Digraph(["A", "B", "C"], [("A", "B")])
+        assert not d.is_path(("A", "B", "C"))
+
+    def test_repeated_interior_vertex(self, k3):
+        assert not k3.is_path(("A", "B", "A", "C"))
+
+    def test_empty_not_path(self, k3):
+        assert not k3.is_path(())
+
+    def test_unknown_vertex_not_path(self, k3):
+        assert not k3.is_path(("A", "Z"))
+
+    def test_last_vertex_repeating_interior(self, k3):
+        # (A, B, C, B): last repeats an interior (non-first) vertex.
+        assert not k3.is_path(("A", "B", "C", "B"))
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        a = Digraph(["A", "B"], [("A", "B")])
+        b = Digraph(["B", "A"], [("A", "B")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_arc_sensitive(self):
+        a = Digraph(["A", "B"], [("A", "B")])
+        b = Digraph(["A", "B"], [("B", "A")])
+        assert a != b
+
+
+class TestSerialisation:
+    def test_roundtrip(self, k3):
+        assert Digraph.from_dict(k3.to_dict()) == k3
+
+    def test_encoded_size_grows_with_arcs(self):
+        small = Digraph(["A", "B"], [("A", "B")])
+        big = Digraph(
+            ["A", "B", "C", "D"],
+            [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")],
+        )
+        assert big.encoded_size_bytes() > small.encoded_size_bytes()

@@ -1,0 +1,125 @@
+"""Tests for dynamic spec propagation (§5's final remark)."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.ledger import Record
+from repro.core.clearing import (
+    MarketClearingService,
+    Offer,
+    ProposedTransfer,
+    check_spec_against_offer,
+)
+from repro.core.discovery import discover_spec, spec_from_record, specs_match
+from repro.core.protocol import run_swap
+from repro.crypto.hashing import hash_secret
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.signatures import get_scheme
+from repro.errors import ClearingError, NotFeedbackVertexSetError
+
+
+@pytest.fixture
+def published_world():
+    """A cleared triangle spec published on a broadcast chain."""
+    scheme = get_scheme("hmac-registry")
+    directory = KeyDirectory()
+    secrets = {}
+    for name in ["Alice", "Bob", "Carol"]:
+        directory.register(scheme.keygen(seed=name.encode()).renamed(name))
+        secrets[name] = name.encode().ljust(32, b"\0")
+    service = MarketClearingService(
+        delta=1000, directory=directory, schemes={scheme.name: scheme}
+    )
+    service.submit(Offer("Alice", hash_secret(secrets["Alice"]),
+                         (ProposedTransfer("Bob"),)))
+    service.submit(Offer("Bob", hash_secret(secrets["Bob"]),
+                         (ProposedTransfer("Carol"),)))
+    service.submit(Offer("Carol", hash_secret(secrets["Carol"]),
+                         (ProposedTransfer("Alice"),)))
+    broadcast = Blockchain("broadcast")
+    outcome = service.clear(now=0, broadcast_chain=broadcast)
+    return service, outcome, broadcast, directory, {scheme.name: scheme}
+
+
+class TestDiscovery:
+    def test_reconstruction_matches_published(self, published_world):
+        _, outcome, broadcast, directory, schemes = published_world
+        discovered = discover_spec(broadcast, directory, schemes)
+        assert specs_match(discovered, outcome.spec)
+
+    def test_discovered_spec_passes_offer_checks(self, published_world):
+        service, _, broadcast, directory, schemes = published_world
+        discovered = discover_spec(broadcast, directory, schemes)
+        for offer in service.offers():
+            assert check_spec_against_offer(discovered, offer) == []
+
+    def test_discovered_spec_is_runnable(self, published_world):
+        _, _, broadcast, directory, schemes = published_world
+        discovered = discover_spec(broadcast, directory, schemes)
+        result = run_swap(discovered.digraph)
+        assert result.all_deal()
+
+    def test_latest_record_wins(self, published_world):
+        service, first, broadcast, directory, schemes = published_world
+        second = service.clear(now=10, broadcast_chain=broadcast)
+        discovered = discover_spec(broadcast, directory, schemes)
+        assert specs_match(discovered, second.spec)
+        assert discovered.start_time != first.spec.start_time
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ClearingError, match="no swap spec"):
+            discover_spec(Blockchain("broadcast"), KeyDirectory(), {})
+
+
+class TestTamperResistance:
+    def test_wrong_kind_rejected(self, published_world):
+        _, _, broadcast, directory, schemes = published_world
+        record = Record(kind="something_else", author="x", payload={})
+        with pytest.raises(ClearingError, match="not a spec record"):
+            spec_from_record(record, directory, schemes)
+
+    def test_truncated_payload_rejected(self, published_world):
+        _, _, broadcast, directory, schemes = published_world
+        original = broadcast.ledger.records_of_kind("swap_spec_published")[-1]
+        broken = Record(
+            kind=original.kind,
+            author=original.author,
+            payload={k: v for k, v in original.payload.items() if k != "hashlocks"},
+        )
+        with pytest.raises(ClearingError, match="malformed"):
+            spec_from_record(broken, directory, schemes)
+
+    def test_forged_non_fvs_leaders_rejected(self, published_world):
+        # A tampered record claiming an invalid leader set fails the
+        # reconstructed spec's own validation.
+        _, _, broadcast, directory, schemes = published_world
+        original = broadcast.ledger.records_of_kind("swap_spec_published")[-1]
+        payload = dict(original.payload)
+        payload["digraph"] = {
+            "vertices": ["Alice", "Bob", "Carol"],
+            "arcs": [["Alice", "Bob"], ["Bob", "Alice"],
+                     ["Bob", "Carol"], ["Carol", "Bob"],
+                     ["Alice", "Carol"], ["Carol", "Alice"]],
+        }
+        forged = Record(kind=original.kind, author="mallory", payload=payload)
+        with pytest.raises(NotFeedbackVertexSetError):
+            spec_from_record(forged, directory, schemes)
+
+    def test_garbage_hashlocks_rejected(self, published_world):
+        _, _, broadcast, directory, schemes = published_world
+        original = broadcast.ledger.records_of_kind("swap_spec_published")[-1]
+        payload = dict(original.payload)
+        payload["hashlocks"] = ["zz-not-hex"]
+        forged = Record(kind=original.kind, author="mallory", payload=payload)
+        with pytest.raises(ClearingError, match="malformed"):
+            spec_from_record(forged, directory, schemes)
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self, capsys):
+        import runpy
+
+        runpy.run_module("repro", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "three-way swap" in out
+        assert "Deal" in out

@@ -1,0 +1,123 @@
+"""Tests for the equilibrium checker and the canned attack constructions."""
+
+import pytest
+
+from repro.analysis.attacks import (
+    free_ride_partition,
+    last_moment_scenario,
+    non_fvs_deadlock,
+    premature_reveal_scenario,
+)
+from repro.analysis.equilibrium import (
+    DEFAULT_MENU,
+    MenuEntry,
+    check_strong_nash,
+)
+from repro.analysis.outcomes import Outcome
+from repro.digraph.digraph import Digraph
+from repro.digraph.generators import (
+    chain_digraph,
+    not_strongly_connected_example,
+    triangle,
+    two_leader_triangle,
+)
+from repro.errors import DigraphError
+
+
+class TestStrongNashSearch:
+    @pytest.fixture(scope="class")
+    def triangle_report(self):
+        return check_strong_nash(triangle(), max_coalition_size=2)
+
+    def test_no_profitable_deviation(self, triangle_report):
+        # Definition 3.2: the protocol should be a strong Nash equilibrium;
+        # the structured search must find no profitable joint deviation.
+        assert triangle_report.equilibrium_supported()
+        assert triangle_report.best_gain <= 0
+
+    def test_uniformity_throughout_search(self, triangle_report):
+        # Theorem 4.9 holds in every explored execution.
+        assert triangle_report.uniformity_held()
+
+    def test_search_is_exhaustive_over_menu(self, triangle_report):
+        # 3 singletons x (6-1) + 3 pairs x (36-1) non-conform assignments.
+        assert triangle_report.deviations_explored() == 3 * 5 + 3 * 35
+
+    def test_two_leader_singletons(self):
+        report = check_strong_nash(two_leader_triangle(), max_coalition_size=1)
+        assert report.equilibrium_supported()
+        assert report.uniformity_held()
+
+    def test_menu_restriction(self):
+        menu = (MenuEntry("conform"), DEFAULT_MENU[1])
+        report = check_strong_nash(triangle(), max_coalition_size=1, menu=menu)
+        assert report.deviations_explored() == 3
+        assert report.equilibrium_supported()
+
+    def test_reports_carry_outcomes(self, triangle_report):
+        sample = triangle_report.explored[0]
+        assert set(sample.outcomes) == {"Alice", "Bob", "Carol"}
+        assert isinstance(sample.gain, int)
+
+
+class TestFreeRidePartition:
+    def test_lemma_3_4_construction(self):
+        demo = free_ride_partition(not_strongly_connected_example())
+        assert demo.coalition == {"X0", "X1"}
+        assert demo.victims == {"Y0", "Y1"}
+        # The deviation is profitable for the coalition...
+        assert demo.coalition_gain > 0
+        # ...and each member does at least as well as Deal individually
+        # ("the payoff for each individual vertex in X is either the same
+        # or better than Deal"): X0 skips paying Y0 (Discount), X1 deals.
+        assert demo.outcomes["X0"] is Outcome.DISCOUNT
+        assert demo.outcomes["X1"] is Outcome.DEAL
+
+    def test_chain_also_partitions(self):
+        demo = free_ride_partition(chain_digraph(3))
+        assert demo.coalition_gain > 0
+
+    def test_strongly_connected_rejected(self):
+        # Lemma 3.3: no such partition exists on an SC digraph.
+        with pytest.raises(DigraphError):
+            free_ride_partition(triangle())
+
+    def test_triggered_arcs_are_internal_only(self):
+        demo = free_ride_partition(not_strongly_connected_example())
+        for (u, v) in demo.deviating_triggered:
+            assert u in demo.coalition and v in demo.coalition
+
+
+class TestNonFvsDeadlock:
+    def test_theorem_4_12_deadlock(self):
+        demo = non_fvs_deadlock(two_leader_triangle(), {"A"})
+        assert demo.stalled_arcs
+        # The uncovered follower cycle B <-> C starves.
+        assert ("B", "C") in demo.stalled_arcs
+        assert ("C", "B") in demo.stalled_arcs
+
+    def test_valid_fvs_rejected(self):
+        with pytest.raises(DigraphError):
+            non_fvs_deadlock(two_leader_triangle(), {"A", "B"})
+
+    def test_bigger_uncovered_cycle(self):
+        d = Digraph(
+            ["L", "F1", "F2", "F3"],
+            [
+                ("L", "F1"), ("F1", "L"),
+                ("F1", "F2"), ("F2", "F3"), ("F3", "F1"),
+            ],
+        )
+        demo = non_fvs_deadlock(d, {"L"})
+        assert {("F1", "F2"), ("F2", "F3"), ("F3", "F1")} <= demo.stalled_arcs
+
+
+class TestScenarios:
+    def test_premature_reveal(self):
+        result = premature_reveal_scenario(triangle(), "Alice", "Carol")
+        assert result.outcomes["Alice"] is Outcome.UNDERWATER
+        assert result.conforming_acceptable()
+
+    def test_last_moment_defused(self):
+        result = last_moment_scenario(two_leader_triangle(), "C")
+        assert result.all_deal()

@@ -1,0 +1,115 @@
+"""Unit tests for feedback vertex set algorithms."""
+
+import pytest
+
+from repro.digraph.digraph import Digraph
+from repro.digraph import feedback
+from repro.digraph.generators import (
+    chain_digraph,
+    complete_digraph,
+    cycle_digraph,
+    layered_crown,
+    petal_digraph,
+    two_cycles_sharing_vertex,
+)
+from repro.errors import DigraphError, NotFeedbackVertexSetError
+
+
+class TestIsFVS:
+    def test_cycle_any_single_vertex(self):
+        d = cycle_digraph(5)
+        for v in d.vertices:
+            assert feedback.is_feedback_vertex_set(d, {v})
+
+    def test_cycle_empty_not_fvs(self):
+        assert not feedback.is_feedback_vertex_set(cycle_digraph(3), set())
+
+    def test_dag_empty_is_fvs(self):
+        assert feedback.is_feedback_vertex_set(chain_digraph(4), set())
+
+    def test_k3_single_not_enough(self):
+        d = complete_digraph(3)
+        assert not feedback.is_feedback_vertex_set(d, {"P00"})
+
+    def test_k3_pair_is_fvs(self):
+        d = complete_digraph(["A", "B", "C"])
+        assert feedback.is_feedback_vertex_set(d, {"A", "B"})
+
+    def test_unknown_vertex_raises(self):
+        with pytest.raises(DigraphError):
+            feedback.is_feedback_vertex_set(cycle_digraph(3), {"nope"})
+
+    def test_require_raises(self):
+        with pytest.raises(NotFeedbackVertexSetError):
+            feedback.require_feedback_vertex_set(complete_digraph(3), {"P00"})
+
+
+class TestMinimumFVS:
+    def test_cycle_size_one(self):
+        assert len(feedback.minimum_feedback_vertex_set(cycle_digraph(6))) == 1
+
+    def test_complete_size(self):
+        # K_n needs n-1 vertices removed to be acyclic.
+        for n in [3, 4]:
+            fvs = feedback.minimum_feedback_vertex_set(complete_digraph(n))
+            assert len(fvs) == n - 1
+
+    def test_dag_empty(self):
+        assert feedback.minimum_feedback_vertex_set(chain_digraph(4)) == set()
+
+    def test_petal_hub(self):
+        d = petal_digraph(3, 3)
+        assert feedback.minimum_feedback_vertex_set(d) == {"HUB"}
+
+    def test_two_cycles_hub(self):
+        d = two_cycles_sharing_vertex(3, 4)
+        assert feedback.minimum_feedback_vertex_set(d) == {"HUB"}
+
+    def test_result_is_fvs(self):
+        d = layered_crown(3, 2)
+        fvs = feedback.minimum_feedback_vertex_set(d)
+        assert feedback.is_feedback_vertex_set(d, fvs)
+
+    def test_size_limit(self):
+        with pytest.raises(DigraphError):
+            feedback.minimum_feedback_vertex_set(cycle_digraph(20), exact_limit=10)
+
+
+class TestGreedyFVS:
+    def test_valid_on_families(self):
+        for d in [
+            cycle_digraph(6),
+            complete_digraph(4),
+            petal_digraph(4, 3),
+            layered_crown(3, 2),
+            two_cycles_sharing_vertex(4, 4),
+        ]:
+            fvs = feedback.greedy_feedback_vertex_set(d)
+            assert feedback.is_feedback_vertex_set(d, fvs)
+
+    def test_minimal(self):
+        # No strict subset of the greedy answer is still an FVS.
+        d = complete_digraph(4)
+        fvs = feedback.greedy_feedback_vertex_set(d)
+        for v in fvs:
+            assert not feedback.is_feedback_vertex_set(d, fvs - {v})
+
+    def test_dag_empty(self):
+        assert feedback.greedy_feedback_vertex_set(chain_digraph(5)) == set()
+
+    def test_matches_optimum_on_easy_graphs(self):
+        for d in [cycle_digraph(5), petal_digraph(3, 3)]:
+            greedy = feedback.greedy_feedback_vertex_set(d)
+            exact = feedback.minimum_feedback_vertex_set(d)
+            assert len(greedy) == len(exact)
+
+
+class TestAutoFVS:
+    def test_small_uses_exact(self):
+        d = complete_digraph(3)
+        assert len(feedback.feedback_vertex_set(d)) == 2
+
+    def test_large_uses_greedy(self):
+        d = cycle_digraph(30)
+        fvs = feedback.feedback_vertex_set(d, exact_limit=10)
+        assert feedback.is_feedback_vertex_set(d, fvs)

@@ -1,0 +1,98 @@
+"""Unit tests for the swap game payoff model."""
+
+import pytest
+
+from repro.analysis.game import RECEIVER_VALUE_PERCENT, SwapGame, proper_coalitions
+from repro.digraph.generators import triangle, two_leader_triangle
+from repro.errors import DigraphError
+
+T = triangle()
+ARCS = list(T.arcs)
+
+
+class TestConstruction:
+    def test_default_values(self):
+        game = SwapGame(T)
+        assert game.value(("Alice", "Bob")) == 1
+
+    def test_explicit_values(self):
+        game = SwapGame(T, {("Alice", "Bob"): 10})
+        assert game.value(("Alice", "Bob")) == 10
+        assert game.value(("Bob", "Carol")) == 1
+
+    def test_unknown_arc_rejected(self):
+        with pytest.raises(DigraphError):
+            SwapGame(T, {("Alice", "Carol"): 1})
+
+    def test_no_surplus_rejected(self):
+        with pytest.raises(DigraphError):
+            SwapGame(T, receiver_percent=100)
+
+
+class TestPartyPayoffs:
+    def test_deal_is_strictly_positive(self):
+        # §3: each party prefers Deal to NoDeal, hence positive surplus.
+        game = SwapGame(T)
+        for v in T.vertices:
+            assert game.deal_payoff(v) > 0
+
+    def test_nodeal_is_zero(self):
+        game = SwapGame(T)
+        assert game.party_payoff("Alice", []) == 0
+
+    def test_freeride_beats_deal_in_raw_payoff(self):
+        game = SwapGame(T)
+        freeride = game.party_payoff("Alice", [("Carol", "Alice")])
+        assert freeride > game.deal_payoff("Alice")
+
+    def test_underwater_is_negative(self):
+        game = SwapGame(T)
+        assert game.party_payoff("Alice", [("Alice", "Bob")]) < 0
+
+    def test_values_scale(self):
+        game = SwapGame(T, {("Carol", "Alice"): 100})
+        assert game.party_payoff("Alice", ARCS) == 100 * RECEIVER_VALUE_PERCENT - 100
+
+
+class TestCoalitionPayoffs:
+    def test_internal_arcs_ignored(self):
+        game = SwapGame(T)
+        coalition = {"Alice", "Bob"}
+        only_internal = [("Alice", "Bob")]
+        assert game.coalition_payoff(coalition, only_internal) == 0
+
+    def test_coalition_deal(self):
+        game = SwapGame(T)
+        coalition = {"Alice", "Bob"}
+        assert (
+            game.coalition_deal_payoff(coalition)
+            == RECEIVER_VALUE_PERCENT - 100
+        )
+
+    def test_deviation_gain_zero_for_deal(self):
+        game = SwapGame(T)
+        assert game.deviation_gain({"Alice"}, ARCS) == 0
+
+    def test_deviation_gain_of_nodeal(self):
+        game = SwapGame(T)
+        # Walking away loses the surplus: negative gain.
+        assert game.deviation_gain({"Alice"}, []) < 0
+
+    def test_empty_coalition_rejected(self):
+        game = SwapGame(T)
+        with pytest.raises(DigraphError):
+            game.coalition_payoff(set(), [])
+
+
+class TestProperCoalitions:
+    def test_triangle_coalitions(self):
+        out = proper_coalitions(T)
+        assert len(out) == 6  # 3 singletons + 3 pairs
+
+    def test_max_size_caps(self):
+        out = proper_coalitions(two_leader_triangle(), max_size=1)
+        assert all(len(c) == 1 for c in out)
+
+    def test_never_includes_grand_coalition(self):
+        out = proper_coalitions(T)
+        assert all(len(c) < len(T.vertices) for c in out)

@@ -1,0 +1,111 @@
+"""Unit tests for the digraph generators."""
+
+from random import Random
+
+import pytest
+
+from repro.digraph import generators as gen
+from repro.digraph.feedback import minimum_feedback_vertex_set
+from repro.digraph.paths import diameter, is_strongly_connected
+from repro.errors import DigraphError
+
+
+class TestTriangle:
+    def test_shape(self):
+        d = gen.triangle()
+        assert d.arcs == (("Alice", "Bob"), ("Bob", "Carol"), ("Carol", "Alice"))
+
+    def test_custom_names(self):
+        d = gen.triangle(("X", "Y", "Z"))
+        assert d.has_arc("X", "Y")
+
+    def test_single_leader(self):
+        assert len(minimum_feedback_vertex_set(gen.triangle())) == 1
+
+
+class TestCycle:
+    @pytest.mark.parametrize("n", [2, 3, 5, 10])
+    def test_strongly_connected(self, n):
+        assert is_strongly_connected(gen.cycle_digraph(n))
+
+    def test_arc_count(self):
+        assert gen.cycle_digraph(7).arc_count() == 7
+
+    def test_diameter(self):
+        assert diameter(gen.cycle_digraph(6)) == 5
+
+    def test_too_small(self):
+        with pytest.raises(DigraphError):
+            gen.cycle_digraph(1)
+
+
+class TestComplete:
+    def test_arc_count(self):
+        assert gen.complete_digraph(4).arc_count() == 12
+
+    def test_strongly_connected(self):
+        assert is_strongly_connected(gen.complete_digraph(5))
+
+    def test_names_variant(self):
+        d = gen.complete_digraph(["X", "Y"])
+        assert set(d.arcs) == {("X", "Y"), ("Y", "X")}
+
+    def test_two_leader_triangle(self):
+        d = gen.two_leader_triangle()
+        assert set(d.vertices) == {"A", "B", "C"}
+        assert d.arc_count() == 6
+        assert len(minimum_feedback_vertex_set(d)) == 2
+
+
+class TestRandomSC:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_strongly_connected(self, seed):
+        d = gen.random_strongly_connected(8, 0.3, Random(seed))
+        assert is_strongly_connected(d)
+
+    def test_reproducible(self):
+        a = gen.random_strongly_connected(6, 0.4, Random(9))
+        b = gen.random_strongly_connected(6, 0.4, Random(9))
+        assert a.arcs == b.arcs
+
+    def test_zero_extra_is_cycle(self):
+        d = gen.random_strongly_connected(6, 0.0, Random(1))
+        assert d.arc_count() == 6
+
+    def test_full_extra_is_complete(self):
+        d = gen.random_strongly_connected(4, 1.0, Random(1))
+        assert d.arc_count() == 12
+
+    def test_bad_probability(self):
+        with pytest.raises(DigraphError):
+            gen.random_strongly_connected(4, 1.5)
+
+
+class TestCompositeFamilies:
+    def test_two_cycles_sc(self):
+        assert is_strongly_connected(gen.two_cycles_sharing_vertex(3, 4))
+
+    def test_two_cycles_single_leader(self):
+        d = gen.two_cycles_sharing_vertex(3, 4)
+        assert minimum_feedback_vertex_set(d) == {"HUB"}
+
+    def test_petal_sc(self):
+        assert is_strongly_connected(gen.petal_digraph(4, 3))
+
+    def test_petal_arc_count(self):
+        # Each petal contributes petal_size arcs.
+        assert gen.petal_digraph(3, 4).arc_count() == 12
+
+    def test_crown_sc(self):
+        assert is_strongly_connected(gen.layered_crown(3, 2))
+
+    def test_crown_arc_count(self):
+        assert gen.layered_crown(3, 2).arc_count() == 3 * 2 * 2
+
+
+class TestNonSCFamilies:
+    def test_example_not_sc(self):
+        assert not is_strongly_connected(gen.not_strongly_connected_example())
+
+    def test_chain_not_sc(self):
+        assert not is_strongly_connected(gen.chain_digraph(4))

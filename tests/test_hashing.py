@@ -1,0 +1,97 @@
+"""Unit tests for repro.crypto.hashing."""
+
+from random import Random
+
+import pytest
+
+from repro.crypto import hashing
+
+
+class TestHashSecret:
+    def test_deterministic(self):
+        assert hashing.hash_secret(b"s" * 32) == hashing.hash_secret(b"s" * 32)
+
+    def test_digest_size(self):
+        assert len(hashing.hash_secret(b"abc")) == hashing.DIGEST_SIZE
+
+    def test_distinct_secrets_distinct_locks(self):
+        assert hashing.hash_secret(b"a") != hashing.hash_secret(b"b")
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            hashing.hash_secret("not-bytes")  # type: ignore[arg-type]
+
+    def test_accepts_bytearray(self):
+        assert hashing.hash_secret(bytearray(b"xyz")) == hashing.hash_secret(b"xyz")
+
+
+class TestMatches:
+    def test_roundtrip(self):
+        secret = b"q" * 32
+        assert hashing.matches(hashing.hash_secret(secret), secret)
+
+    def test_wrong_secret(self):
+        assert not hashing.matches(hashing.hash_secret(b"right"), b"wrong")
+
+    def test_wrong_length_lock(self):
+        assert not hashing.matches(b"short", b"whatever")
+
+
+class TestRandomSecret:
+    def test_size(self):
+        assert len(hashing.random_secret(Random(1))) == hashing.SECRET_SIZE
+
+    def test_seeded_rng_reproducible(self):
+        assert hashing.random_secret(Random(5)) == hashing.random_secret(Random(5))
+
+    def test_distinct_draws(self):
+        rng = Random(5)
+        assert hashing.random_secret(rng) != hashing.random_secret(rng)
+
+    def test_default_rng_works(self):
+        assert len(hashing.random_secret()) == hashing.SECRET_SIZE
+
+
+class TestDeriveBytes:
+    def test_exact_length(self):
+        for count in [0, 1, 31, 32, 33, 100]:
+            assert len(hashing.derive_bytes(b"seed", b"label", count)) == count
+
+    def test_deterministic(self):
+        assert hashing.derive_bytes(b"s", b"l", 64) == hashing.derive_bytes(b"s", b"l", 64)
+
+    def test_label_separates(self):
+        assert hashing.derive_bytes(b"s", b"a", 32) != hashing.derive_bytes(b"s", b"b", 32)
+
+    def test_seed_separates(self):
+        assert hashing.derive_bytes(b"a", b"l", 32) != hashing.derive_bytes(b"b", b"l", 32)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            hashing.derive_bytes(b"s", b"l", -1)
+
+    def test_prefix_property(self):
+        long = hashing.derive_bytes(b"s", b"l", 96)
+        short = hashing.derive_bytes(b"s", b"l", 40)
+        assert long[:40] == short
+
+
+class TestHmac:
+    def test_deterministic(self):
+        assert hashing.hmac_sha256(b"k", b"m") == hashing.hmac_sha256(b"k", b"m")
+
+    def test_key_separates(self):
+        assert hashing.hmac_sha256(b"k1", b"m") != hashing.hmac_sha256(b"k2", b"m")
+
+
+class TestToHex:
+    def test_abbreviates(self):
+        out = hashing.to_hex(bytes(32), 4)
+        assert out.endswith("...")
+        assert len(out) == 8 + 3
+
+    def test_short_not_abbreviated(self):
+        assert hashing.to_hex(b"\x01\x02", 8) == "0102"
+
+    def test_none_length_full(self):
+        assert hashing.to_hex(bytes(32), None) == "00" * 32

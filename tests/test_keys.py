@@ -1,0 +1,86 @@
+"""Unit tests for repro.crypto.keys."""
+
+import pytest
+
+from repro.crypto.keys import KeyDirectory, KeyPair, derive_address
+from repro.crypto.signatures import get_scheme
+
+
+@pytest.fixture
+def scheme():
+    return get_scheme("hmac-registry")
+
+
+class TestDeriveAddress:
+    def test_deterministic(self):
+        assert derive_address(b"pub") == derive_address(b"pub")
+
+    def test_prefix(self):
+        assert derive_address(b"pub").startswith("0x")
+
+    def test_length(self):
+        # 0x + 20 bytes hex
+        assert len(derive_address(b"pub")) == 2 + 40
+
+
+class TestKeyPair:
+    def test_from_keys_derives_address(self, scheme):
+        pair = scheme.keygen(seed=b"a")
+        assert pair.address == derive_address(pair.public_key)
+
+    def test_renamed_keeps_material(self, scheme):
+        pair = scheme.keygen(seed=b"a")
+        named = pair.renamed("Alice")
+        assert named.address == "Alice"
+        assert named.public_key == pair.public_key
+        assert named.private_key == pair.private_key
+        assert named.scheme == pair.scheme
+
+    def test_renamed_rejects_empty(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.keygen(seed=b"a").renamed("")
+
+    def test_private_key_not_in_repr(self, scheme):
+        pair = scheme.keygen(seed=b"a")
+        assert pair.private_key.hex() not in repr(pair)
+
+
+class TestKeyDirectory:
+    def test_register_and_lookup(self, scheme):
+        directory = KeyDirectory()
+        pair = scheme.keygen(seed=b"a").renamed("Alice")
+        directory.register(pair)
+        assert directory.public_key("Alice") == pair.public_key
+        assert directory.scheme("Alice") == scheme.name
+
+    def test_contains(self, scheme):
+        directory = KeyDirectory()
+        directory.register(scheme.keygen(seed=b"a").renamed("Alice"))
+        assert "Alice" in directory
+        assert "Bob" not in directory
+
+    def test_reregister_same_key_ok(self, scheme):
+        directory = KeyDirectory()
+        pair = scheme.keygen(seed=b"a").renamed("Alice")
+        directory.register(pair)
+        directory.register(pair)
+        assert len(directory) == 1
+
+    def test_reregister_different_key_rejected(self, scheme):
+        directory = KeyDirectory()
+        directory.register(scheme.keygen(seed=b"a").renamed("Alice"))
+        with pytest.raises(ValueError):
+            directory.register(scheme.keygen(seed=b"b").renamed("Alice"))
+
+    def test_unknown_lookup_raises(self):
+        directory = KeyDirectory()
+        with pytest.raises(KeyError):
+            directory.public_key("Nobody")
+        with pytest.raises(KeyError):
+            directory.scheme("Nobody")
+
+    def test_addresses_in_order(self, scheme):
+        directory = KeyDirectory()
+        for name in ["C", "A", "B"]:
+            directory.register(scheme.keygen(seed=name.encode()).renamed(name))
+        assert directory.addresses() == ["C", "A", "B"]

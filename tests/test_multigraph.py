@@ -1,0 +1,74 @@
+"""Unit tests for directed multigraphs."""
+
+import pytest
+
+from repro.digraph.multigraph import MultiDigraph
+from repro.errors import DigraphError
+
+
+@pytest.fixture
+def parallel():
+    return MultiDigraph(
+        ["A", "B", "C"],
+        [("A", "B"), ("A", "B"), ("B", "C"), ("C", "A")],
+    )
+
+
+class TestConstruction:
+    def test_auto_keys(self, parallel):
+        assert ("A", "B", 0) in parallel.arcs
+        assert ("A", "B", 1) in parallel.arcs
+
+    def test_explicit_keys(self):
+        mg = MultiDigraph(["A", "B"], [("A", "B", 5), ("A", "B", 7), ("B", "A", 0)])
+        assert mg.has_arc("A", "B", 5)
+        assert mg.has_arc("A", "B", 7)
+        assert not mg.has_arc("A", "B", 6)
+
+    def test_duplicate_keyed_arc_rejected(self):
+        with pytest.raises(DigraphError):
+            MultiDigraph(["A", "B"], [("A", "B", 0), ("A", "B", 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DigraphError):
+            MultiDigraph(["A"], [("A", "A")])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(DigraphError):
+            MultiDigraph(["A"], [("A", "B")])
+
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(DigraphError):
+            MultiDigraph(["A", "A"], [])
+
+
+class TestQueries:
+    def test_multiplicity(self, parallel):
+        assert parallel.multiplicity("A", "B") == 2
+        assert parallel.multiplicity("B", "C") == 1
+        assert parallel.multiplicity("C", "B") == 0
+
+    def test_out_arcs(self, parallel):
+        assert parallel.out_arcs("A") == (("A", "B", 0), ("A", "B", 1))
+
+    def test_in_arcs(self, parallel):
+        assert parallel.in_arcs("A") == (("C", "A", 0),)
+
+    def test_has_arc_pairwise(self, parallel):
+        assert parallel.has_arc("A", "B")
+        assert not parallel.has_arc("B", "A")
+
+
+class TestProjection:
+    def test_underlying_simple_collapses(self, parallel):
+        simple = parallel.underlying_simple()
+        assert simple.arc_count() == 3
+        assert simple.has_arc("A", "B")
+
+    def test_transpose(self, parallel):
+        t = parallel.transpose()
+        assert t.multiplicity("B", "A") == 2
+        assert t.multiplicity("A", "B") == 0
+
+    def test_arc_count(self, parallel):
+        assert parallel.arc_count() == 4

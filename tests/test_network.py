@@ -1,0 +1,97 @@
+"""Unit tests for the multi-chain network."""
+
+import pytest
+
+from repro.chain.network import BROADCAST_CHAIN_ID, ChainNetwork, chain_id_for_arc
+from repro.digraph.generators import triangle
+from repro.errors import SimulationError
+
+
+class TestConstruction:
+    def test_one_chain_per_arc(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        assert set(network.arcs()) == set(d.arcs)
+        # +1 for the broadcast chain
+        assert len(network.chains()) == d.arc_count() + 1
+
+    def test_without_broadcast(self):
+        network = ChainNetwork.for_digraph(triangle(), include_broadcast=False)
+        with pytest.raises(SimulationError):
+            _ = network.broadcast_chain
+
+    def test_chain_ids_stable(self):
+        assert chain_id_for_arc(("A", "B")) == "chain:A->B"
+
+    def test_unknown_arc_rejected(self):
+        network = ChainNetwork.for_digraph(triangle())
+        with pytest.raises(SimulationError):
+            network.chain_for_arc(("X", "Y"))
+
+    def test_add_arc_chain_idempotent(self):
+        network = ChainNetwork()
+        first = network.add_arc_chain(("A", "B"))
+        second = network.add_arc_chain(("A", "B"))
+        assert first is second
+
+
+class TestAssets:
+    def test_assets_registered_to_heads(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        assets = network.register_arc_assets(d)
+        for arc, asset in assets.items():
+            head, tail = arc
+            chain = network.chain_for_arc(arc)
+            assert chain.assets.owner(asset.asset_id) == head
+
+    def test_asset_values(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        assets = network.register_arc_assets(d, value_of=lambda arc: 7)
+        assert all(a.value == 7 for a in assets.values())
+
+
+class TestGlobalOperations:
+    def test_subscribe_all(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        seen = []
+        network.subscribe_all(lambda c, r, t: seen.append(c.chain_id))
+        network.register_arc_assets(d)
+        assert len(seen) == d.arc_count()
+
+    def test_total_bytes(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        network.register_arc_assets(d)
+        assert network.total_stored_bytes() > 0
+        assert network.total_published_bytes() > 0
+        assert network.total_contract_storage_bytes() == 0
+
+    def test_verify_all(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        network.register_arc_assets(d)
+        network.verify_all()
+
+    def test_ownership_snapshot(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        network.register_arc_assets(d)
+        snapshot = network.ownership_snapshot()
+        assert snapshot[chain_id_for_arc(("Alice", "Bob"))] == {
+            "asset@Alice->Bob": "Alice"
+        }
+
+    def test_all_records_tagged(self):
+        d = triangle()
+        network = ChainNetwork.for_digraph(d)
+        network.register_arc_assets(d)
+        tagged = network.all_records()
+        assert len(tagged) == d.arc_count()
+        assert all(chain_id.startswith("chain:") for chain_id, _ in tagged)
+
+    def test_broadcast_chain_present(self):
+        network = ChainNetwork.for_digraph(triangle())
+        assert network.broadcast_chain.chain_id == BROADCAST_CHAIN_ID

@@ -1,0 +1,131 @@
+"""Property-based tests for the Figure 3 classification (hypothesis)."""
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.game import SwapGame
+from repro.analysis.outcomes import (
+    ACCEPTABLE_OUTCOMES,
+    Outcome,
+    classify_all,
+    classify_coalition,
+    classify_party,
+)
+from repro.digraph.generators import random_strongly_connected
+
+
+@st.composite
+def graph_and_triggered(draw, max_vertices: int = 7):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    digraph = random_strongly_connected(n, 0.3, Random(seed))
+    arcs = list(digraph.arcs)
+    mask = draw(st.lists(st.booleans(), min_size=len(arcs), max_size=len(arcs)))
+    triggered = {arc for arc, keep in zip(arcs, mask) if keep}
+    return digraph, triggered
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_triggered())
+def test_classification_is_total_and_consistent(instance):
+    digraph, triggered = instance
+    for v in digraph.vertices:
+        outcome = classify_party(digraph, triggered, v)
+        entering = set(digraph.in_arcs(v))
+        leaving = set(digraph.out_arcs(v))
+        got_in = entering & triggered
+        got_out = leaving & triggered
+        # The definitional checks of §3, restated independently:
+        if outcome is Outcome.DEAL:
+            assert got_in == entering and got_out == leaving
+        elif outcome is Outcome.NODEAL:
+            assert not got_in and not got_out
+        elif outcome is Outcome.FREERIDE:
+            assert got_in and not got_out
+        elif outcome is Outcome.DISCOUNT:
+            assert got_in == entering and got_out != leaving
+        else:  # UNDERWATER
+            assert got_in != entering and got_out
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_triggered())
+def test_all_triggered_is_all_deal(instance):
+    digraph, _ = instance
+    outcomes = classify_all(digraph, digraph.arcs)
+    assert all(o is Outcome.DEAL for o in outcomes.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_triggered())
+def test_nothing_triggered_is_all_nodeal(instance):
+    digraph, _ = instance
+    outcomes = classify_all(digraph, [])
+    assert all(o is Outcome.NODEAL for o in outcomes.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_triggered(max_vertices=6))
+def test_coalition_of_everyone_is_never_underwater(instance):
+    digraph, triggered = instance
+    outcome = classify_coalition(digraph, triggered, set(digraph.vertices))
+    assert outcome in ACCEPTABLE_OUTCOMES
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_and_triggered())
+def test_payoff_signs_that_hold_universally(instance):
+    # Two Fig. 3 pricing facts need no balance assumption: NoDeal nets
+    # exactly zero, and FreeRide (gaining without paying) nets positive.
+    digraph, triggered = instance
+    game = SwapGame(digraph)
+    for v in digraph.vertices:
+        outcome = classify_party(digraph, triggered, v)
+        payoff = game.party_payoff(v, triggered)
+        if outcome is Outcome.NODEAL:
+            assert payoff == 0
+        elif outcome is Outcome.FREERIDE:
+            assert payoff > 0
+
+
+@st.composite
+def balanced_graph_and_triggered(draw, max_vertices: int = 8):
+    """Cycle digraphs: every vertex pays one and receives one.
+
+    §3 implicitly assumes valuations under which each party profits from
+    the Deal (else it would not have agreed to the swap); with uniform
+    values that is exactly the degree-balanced case.
+    """
+    from repro.digraph.generators import cycle_digraph
+
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    digraph = cycle_digraph(n)
+    arcs = list(digraph.arcs)
+    mask = draw(st.lists(st.booleans(), min_size=len(arcs), max_size=len(arcs)))
+    return digraph, {arc for arc, keep in zip(arcs, mask) if keep}
+
+
+@settings(max_examples=50, deadline=None)
+@given(balanced_graph_and_triggered())
+def test_deal_is_profitable_when_balanced(instance):
+    digraph, _ = instance
+    game = SwapGame(digraph)
+    for v in digraph.vertices:
+        assert game.deal_payoff(v) > 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(balanced_graph_and_triggered())
+def test_deal_dominates_underwater_when_balanced(instance):
+    # Why Underwater is the unacceptable class: in any swap a party would
+    # rationally agree to, every Underwater outcome pays strictly less
+    # than Deal (and indeed strictly less than NoDeal's zero here).
+    digraph, triggered = instance
+    game = SwapGame(digraph)
+    for v in digraph.vertices:
+        if classify_party(digraph, triggered, v) is Outcome.UNDERWATER:
+            payoff = game.party_payoff(v, triggered)
+            assert payoff < game.deal_payoff(v)
+            assert payoff < 0

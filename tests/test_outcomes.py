@@ -1,0 +1,156 @@
+"""Unit tests for the Figure 3 outcome classification."""
+
+import pytest
+
+from repro.analysis.outcomes import (
+    ACCEPTABLE_OUTCOMES,
+    Outcome,
+    all_deal,
+    classify_all,
+    classify_coalition,
+    classify_party,
+    comparable,
+    strictly_prefers,
+    uniform_for,
+)
+from repro.digraph.digraph import Digraph
+from repro.digraph.generators import triangle, two_leader_triangle
+from repro.errors import DigraphError
+
+T = triangle()
+ARCS = list(T.arcs)  # (Alice,Bob), (Bob,Carol), (Carol,Alice)
+
+
+class TestPartyClassification:
+    def test_deal(self):
+        assert classify_party(T, ARCS, "Alice") is Outcome.DEAL
+
+    def test_nodeal(self):
+        assert classify_party(T, [], "Alice") is Outcome.NODEAL
+
+    def test_freeride(self):
+        # Alice's entering arc triggered, her leaving arc not.
+        assert classify_party(T, [("Carol", "Alice")], "Alice") is Outcome.FREERIDE
+
+    def test_underwater(self):
+        # Alice paid but was not paid.
+        assert classify_party(T, [("Alice", "Bob")], "Alice") is Outcome.UNDERWATER
+
+    def test_discount_needs_bigger_graph(self):
+        # A vertex with two leaving arcs, only one triggered, all entering in.
+        d = Digraph(
+            ["A", "B", "C"],
+            [("A", "B"), ("A", "C"), ("B", "A"), ("C", "A"), ("B", "C"), ("C", "B")],
+        )
+        triggered = [("B", "A"), ("C", "A"), ("A", "B")]  # A keeps (A,C)
+        assert classify_party(d, triggered, "A") is Outcome.DISCOUNT
+
+    def test_bystander_nodeal(self):
+        # An arc elsewhere does not change a party's own class.
+        assert classify_party(T, [("Bob", "Carol")], "Alice") is Outcome.NODEAL
+
+    def test_unknown_party_rejected(self):
+        with pytest.raises(DigraphError):
+            classify_party(T, [], "Zoe")
+
+    def test_unknown_arc_rejected(self):
+        with pytest.raises(DigraphError):
+            classify_party(T, [("Alice", "Carol")], "Alice")
+
+
+class TestCoalitionClassification:
+    def test_internal_arcs_wash_out(self):
+        # {Alice, Bob}: (Alice,Bob) is internal; boundary is (Bob,Carol)
+        # leaving and (Carol,Alice) entering.
+        coalition = {"Alice", "Bob"}
+        assert classify_coalition(T, [("Alice", "Bob")], coalition) is Outcome.NODEAL
+
+    def test_coalition_deal(self):
+        coalition = {"Alice", "Bob"}
+        assert (
+            classify_coalition(T, [("Bob", "Carol"), ("Carol", "Alice")], coalition)
+            is Outcome.DEAL
+        )
+
+    def test_coalition_freeride(self):
+        coalition = {"Alice", "Bob"}
+        assert (
+            classify_coalition(T, [("Carol", "Alice")], coalition) is Outcome.FREERIDE
+        )
+
+    def test_coalition_underwater(self):
+        coalition = {"Alice", "Bob"}
+        assert (
+            classify_coalition(T, [("Bob", "Carol")], coalition) is Outcome.UNDERWATER
+        )
+
+    def test_empty_coalition_rejected(self):
+        with pytest.raises(DigraphError):
+            classify_coalition(T, [], set())
+
+    def test_whole_graph_coalition_vacuous_nodeal(self):
+        # No boundary arcs at all: both "nothing crossed" (NoDeal) and
+        # "everything crossed" (Deal) hold vacuously; the documented
+        # precedence resolves to NoDeal.
+        assert classify_coalition(T, [], set(T.vertices)) is Outcome.NODEAL
+
+
+class TestPartitionProperty:
+    def test_every_subset_classifies(self):
+        # The five classes with the documented precedence cover every
+        # triggered-subset for every party: classification never raises and
+        # each result is one of the five.
+        d = two_leader_triangle()
+        arcs = list(d.arcs)
+        from itertools import combinations
+
+        for r in range(len(arcs) + 1):
+            for subset in combinations(arcs, r):
+                for v in d.vertices:
+                    outcome = classify_party(d, subset, v)
+                    assert isinstance(outcome, Outcome)
+
+
+class TestPreferenceOrder:
+    def test_stated_preferences(self):
+        assert strictly_prefers(Outcome.DEAL, Outcome.NODEAL)
+        assert strictly_prefers(Outcome.DISCOUNT, Outcome.DEAL)
+        assert strictly_prefers(Outcome.FREERIDE, Outcome.NODEAL)
+        assert strictly_prefers(Outcome.NODEAL, Outcome.UNDERWATER)
+
+    def test_transitivity(self):
+        assert strictly_prefers(Outcome.DISCOUNT, Outcome.NODEAL)
+        assert strictly_prefers(Outcome.DEAL, Outcome.UNDERWATER)
+        assert strictly_prefers(Outcome.FREERIDE, Outcome.UNDERWATER)
+
+    def test_incomparable_pairs(self):
+        assert not comparable(Outcome.DEAL, Outcome.FREERIDE)
+        assert not comparable(Outcome.DISCOUNT, Outcome.FREERIDE)
+
+    def test_irreflexive(self):
+        for outcome in Outcome:
+            assert not strictly_prefers(outcome, outcome)
+
+    def test_asymmetric(self):
+        assert not strictly_prefers(Outcome.NODEAL, Outcome.DEAL)
+
+    def test_acceptable_set(self):
+        assert Outcome.UNDERWATER not in ACCEPTABLE_OUTCOMES
+        assert len(ACCEPTABLE_OUTCOMES) == 4
+
+
+class TestAggregates:
+    def test_all_deal_true(self):
+        assert all_deal(T, ARCS)
+
+    def test_all_deal_false(self):
+        assert not all_deal(T, ARCS[:2])
+
+    def test_classify_all_covers_vertices(self):
+        assert set(classify_all(T, ARCS)) == set(T.vertices)
+
+    def test_uniform_for(self):
+        # Alice underwater; uniformity holds for the others only.
+        triggered = [("Alice", "Bob")]
+        assert not uniform_for(T, triggered, {"Alice"})
+        assert uniform_for(T, triggered, {"Bob", "Carol"})

@@ -1,0 +1,188 @@
+"""Unit tests for reachability, connectivity and longest-path algorithms."""
+
+import pytest
+
+from repro.digraph.digraph import Digraph
+from repro.digraph.generators import (
+    chain_digraph,
+    complete_digraph,
+    cycle_digraph,
+    not_strongly_connected_example,
+    triangle,
+    two_cycles_sharing_vertex,
+)
+from repro.digraph import paths
+from repro.errors import DigraphError
+
+
+class TestReachability:
+    def test_cycle_all_reachable(self):
+        d = cycle_digraph(5)
+        assert paths.reachable_from(d, d.vertices[0]) == set(d.vertices)
+
+    def test_chain_partial(self):
+        d = chain_digraph(4)
+        assert paths.reachable_from(d, d.vertices[2]) == set(d.vertices[2:])
+
+    def test_unknown_vertex(self):
+        with pytest.raises(DigraphError):
+            paths.reachable_from(cycle_digraph(3), "nope")
+
+
+class TestStrongConnectivity:
+    def test_cycle_is_sc(self):
+        assert paths.is_strongly_connected(cycle_digraph(4))
+
+    def test_complete_is_sc(self):
+        assert paths.is_strongly_connected(complete_digraph(4))
+
+    def test_chain_is_not(self):
+        assert not paths.is_strongly_connected(chain_digraph(3))
+
+    def test_example_is_not(self):
+        assert not paths.is_strongly_connected(not_strongly_connected_example())
+
+    def test_single_vertex_sc(self):
+        assert paths.is_strongly_connected(Digraph(["A"], []))
+
+    def test_empty_sc(self):
+        assert paths.is_strongly_connected(Digraph([], []))
+
+    def test_two_components(self):
+        d = Digraph(["A", "B", "C", "D"], [("A", "B"), ("B", "A"), ("C", "D"), ("D", "C")])
+        assert not paths.is_strongly_connected(d)
+
+
+class TestSCC:
+    def test_cycle_single_component(self):
+        d = cycle_digraph(6)
+        components = paths.strongly_connected_components(d)
+        assert len(components) == 1
+        assert components[0] == set(d.vertices)
+
+    def test_chain_singletons(self):
+        d = chain_digraph(4)
+        components = paths.strongly_connected_components(d)
+        assert len(components) == 4
+
+    def test_example_two_components(self):
+        components = paths.strongly_connected_components(
+            not_strongly_connected_example()
+        )
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 2]
+
+
+class TestAcyclicity:
+    def test_chain_acyclic(self):
+        assert paths.is_acyclic(chain_digraph(5))
+
+    def test_cycle_not_acyclic(self):
+        assert not paths.is_acyclic(cycle_digraph(3))
+
+    def test_find_cycle_none_on_dag(self):
+        assert paths.find_cycle(chain_digraph(5)) is None
+
+    def test_find_cycle_closes(self):
+        cycle = paths.find_cycle(cycle_digraph(4))
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        d = cycle_digraph(4)
+        for i in range(len(cycle) - 1):
+            assert d.has_arc(cycle[i], cycle[i + 1])
+
+
+class TestShortestPath:
+    def test_same_vertex(self):
+        d = cycle_digraph(4)
+        assert paths.shortest_path_length(d, d.vertices[0], d.vertices[0]) == 0
+
+    def test_around_cycle(self):
+        d = cycle_digraph(5)
+        assert paths.shortest_path_length(d, d.vertices[0], d.vertices[4]) == 4
+
+    def test_unreachable_none(self):
+        d = chain_digraph(3)
+        assert paths.shortest_path_length(d, d.vertices[2], d.vertices[0]) is None
+
+
+class TestLongestPath:
+    def test_triangle_values(self):
+        d = triangle()
+        assert paths.longest_path_length(d, "Alice", "Carol") == 2
+        assert paths.longest_path_length(d, "Bob", "Alice") == 2
+        assert paths.longest_path_length(d, "Alice", "Alice") == 0
+
+    def test_k3_longest(self):
+        d = complete_digraph(["A", "B", "C"])
+        assert paths.longest_path_length(d, "A", "B") == 2  # A -> C -> B
+
+    def test_unreachable_raises(self):
+        d = chain_digraph(3)
+        with pytest.raises(DigraphError):
+            paths.longest_path_length(d, d.vertices[2], d.vertices[0])
+
+    def test_upper_bound_fallback(self):
+        d = cycle_digraph(6)
+        exact = paths.longest_path_length(d, d.vertices[0], d.vertices[3])
+        bounded = paths.longest_path_length(d, d.vertices[0], d.vertices[3], exact_limit=3)
+        assert exact == 3
+        assert bounded == 5  # |V| - 1
+
+    def test_longest_path_concrete(self):
+        d = complete_digraph(["A", "B", "C"])
+        path = paths.longest_path(d, "A", "B")
+        assert path[0] == "A" and path[-1] == "B"
+        assert len(path) == 3
+
+
+class TestDiameter:
+    def test_cycle(self):
+        assert paths.diameter(cycle_digraph(7)) == 6
+
+    def test_triangle(self):
+        assert paths.diameter(triangle()) == 2
+
+    def test_k3(self):
+        assert paths.diameter(complete_digraph(3)) == 2
+
+    def test_two_cycles(self):
+        d = two_cycles_sharing_vertex(3, 3)
+        assert paths.diameter(d) == 4
+
+    def test_arcless_raises(self):
+        with pytest.raises(DigraphError):
+            paths.diameter(Digraph(["A", "B"], []))
+
+    def test_upper_bound(self):
+        d = cycle_digraph(20)
+        assert paths.diameter(d, exact_limit=10) == 19
+        assert paths.diameter_upper_bound(d) == 19
+
+
+class TestAllSimplePaths:
+    def test_k3_paths(self):
+        d = complete_digraph(["A", "B", "C"])
+        found = paths.all_simple_paths(d, "C", "A")
+        assert set(found) == {("C", "A"), ("C", "B", "A")}
+
+    def test_source_equals_target_includes_degenerate(self):
+        d = complete_digraph(["A", "B", "C"])
+        found = paths.all_simple_paths(d, "A", "A")
+        assert ("A",) in found
+        assert ("A", "B", "A") in found
+        assert ("A", "B", "C", "A") in found
+
+    def test_max_paths_truncates(self):
+        d = complete_digraph(5)
+        found = paths.all_simple_paths(d, d.vertices[0], d.vertices[1], max_paths=3)
+        assert len(found) == 3
+
+    def test_no_path(self):
+        d = chain_digraph(3)
+        assert paths.all_simple_paths(d, d.vertices[2], d.vertices[0]) == []
+
+    def test_paths_are_paths(self):
+        d = complete_digraph(4)
+        for p in paths.all_simple_paths(d, d.vertices[0], d.vertices[2]):
+            assert d.is_path(p)

@@ -1,0 +1,119 @@
+"""Unit tests for the lazy and eager pebble games (§4.4)."""
+
+import pytest
+
+from repro.core.pebble import eager_pebble_game, lazy_pebble_game
+from repro.digraph.generators import (
+    chain_digraph,
+    complete_digraph,
+    cycle_digraph,
+    petal_digraph,
+    triangle,
+    two_leader_triangle,
+)
+from repro.digraph.paths import diameter
+from repro.errors import DigraphError, NotFeedbackVertexSetError, NotStronglyConnectedError
+
+
+class TestLazyGame:
+    def test_triangle_single_leader(self):
+        d = triangle()
+        result = lazy_pebble_game(d, {"Alice"})
+        assert result.complete
+        # Fig. 1's deployment order: (A,B) then (B,C) then (C,A).
+        assert result.round_of(("Alice", "Bob")) == 0
+        assert result.round_of(("Bob", "Carol")) == 1
+        assert result.round_of(("Carol", "Alice")) == 2
+
+    def test_completes_within_diameter(self):
+        # Lemma 4.3: every arc pebbled within diam(D) rounds.
+        for d, leaders in [
+            (triangle(), {"Alice"}),
+            (two_leader_triangle(), {"A", "B"}),
+            (cycle_digraph(6), {"P00"}),
+            (petal_digraph(3, 3), {"HUB"}),
+            (complete_digraph(4), {"P00", "P01", "P02"}),
+        ]:
+            result = lazy_pebble_game(d, leaders)
+            assert result.complete, (d, leaders)
+            assert result.round_count <= diameter(d), (d, leaders)
+
+    def test_two_leader_concurrent_start(self):
+        # Fig. 8: both leaders' arcs are pebbled in round 0.
+        result = lazy_pebble_game(two_leader_triangle(), {"A", "B"})
+        assert ("A", "B") in result.rounds[0]
+        assert ("B", "A") in result.rounds[0]
+        assert result.complete
+
+    def test_requires_fvs(self):
+        with pytest.raises(NotFeedbackVertexSetError):
+            lazy_pebble_game(two_leader_triangle(), {"A"})
+
+    def test_requires_strong_connectivity(self):
+        with pytest.raises(NotStronglyConnectedError):
+            lazy_pebble_game(chain_digraph(3), {"P00"})
+
+    def test_unknown_leader(self):
+        with pytest.raises(DigraphError):
+            lazy_pebble_game(triangle(), {"Zoe"})
+
+    def test_stalls_without_fvs_when_unchecked(self):
+        # Theorem 4.12's deadlock, observable when preconditions are waived.
+        result = lazy_pebble_game(
+            two_leader_triangle(), {"A"}, require_preconditions=False
+        )
+        assert not result.complete
+        stalled = set(two_leader_triangle().arcs) - result.pebbled()
+        # The follower cycle B <-> C starves, and everything waiting on it.
+        assert ("B", "C") in stalled and ("C", "B") in stalled
+
+
+class TestEagerGame:
+    def test_triangle_from_leader(self):
+        # Phase Two of the §1 swap: secrets flow against the arcs, i.e. the
+        # eager game runs on the transpose.
+        d = triangle().transpose()
+        result = eager_pebble_game(d, "Alice")
+        assert result.complete
+        assert result.round_count <= diameter(d)
+
+    def test_completes_within_diameter_all_starts(self):
+        for d in [triangle(), two_leader_triangle(), cycle_digraph(5)]:
+            for start in d.vertices:
+                result = eager_pebble_game(d, start)
+                assert result.complete
+                assert result.round_count <= diameter(d)
+
+    def test_eager_never_slower_than_lazy(self):
+        # Any pebble suffices for the eager game, so it can only be faster.
+        d = complete_digraph(4)
+        lazy = lazy_pebble_game(d, {"P00", "P01", "P02"})
+        eager = eager_pebble_game(d, "P00")
+        assert eager.round_count <= lazy.round_count + 1
+
+    def test_requires_strong_connectivity(self):
+        with pytest.raises(NotStronglyConnectedError):
+            eager_pebble_game(chain_digraph(3), "P00")
+
+    def test_unknown_start(self):
+        with pytest.raises(DigraphError):
+            eager_pebble_game(triangle(), "Zoe")
+
+
+class TestResultType:
+    def test_pebbled_union(self):
+        result = lazy_pebble_game(triangle(), {"Alice"})
+        assert result.pebbled() == set(triangle().arcs)
+
+    def test_round_of_missing(self):
+        result = lazy_pebble_game(
+            two_leader_triangle(), {"A"}, require_preconditions=False
+        )
+        assert result.round_of(("B", "C")) is None
+
+    def test_rounds_are_disjoint(self):
+        result = lazy_pebble_game(complete_digraph(4), {"P00", "P01", "P02"})
+        seen = set()
+        for arcs in result.rounds:
+            assert not (arcs & seen)
+            seen |= arcs

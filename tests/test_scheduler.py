@@ -1,0 +1,157 @@
+"""Unit tests for the clock, events, and scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError, SimulationError
+from repro.sim.clock import Clock, ticks
+from repro.sim.events import Priority
+from repro.sim.scheduler import Scheduler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_no_backward(self):
+        clock = Clock(5)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock(-1)
+
+
+class TestTicks:
+    def test_basic(self):
+        assert ticks(1000, 0.45) == 450
+
+    def test_zero(self):
+        assert ticks(1000, 0.0) == 0
+
+    def test_never_rounds_positive_to_zero(self):
+        assert ticks(10, 0.01) == 1
+
+    def test_rounds_half_up(self):
+        assert ticks(10, 0.25) == 3
+
+    def test_bad_delta(self):
+        with pytest.raises(SimulationError):
+            ticks(0, 0.5)
+
+    def test_negative_multiple(self):
+        with pytest.raises(SimulationError):
+            ticks(10, -0.1)
+
+
+class TestSchedulerOrdering:
+    def test_time_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(20, lambda: fired.append("late"))
+        scheduler.at(10, lambda: fired.append("early"))
+        scheduler.run()
+        assert fired == ["early", "late"]
+
+    def test_priority_breaks_ties(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(10, lambda: fired.append("wake"), priority=Priority.WAKE)
+        scheduler.at(10, lambda: fired.append("chain"), priority=Priority.CHAIN)
+        scheduler.at(10, lambda: fired.append("control"), priority=Priority.CONTROL)
+        scheduler.run()
+        assert fired == ["chain", "wake", "control"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        scheduler = Scheduler()
+        fired = []
+        for i in range(5):
+            scheduler.at(10, lambda i=i: fired.append(i))
+        scheduler.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative(self):
+        scheduler = Scheduler()
+        times = []
+        scheduler.at(10, lambda: scheduler.after(5, lambda: times.append(scheduler.now)))
+        scheduler.run()
+        assert times == [15]
+
+
+class TestSchedulerGuards:
+    def test_no_scheduling_in_past(self):
+        scheduler = Scheduler()
+        scheduler.at(10, lambda: None)
+        scheduler.run()
+        with pytest.raises(SchedulerError):
+            scheduler.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler().after(-1, lambda: None)
+
+    def test_event_budget(self):
+        scheduler = Scheduler(max_events=10)
+
+        def reschedule():
+            scheduler.after(1, reschedule)
+
+        scheduler.at(0, reschedule)
+        with pytest.raises(SchedulerError):
+            scheduler.run()
+
+    def test_not_reentrant(self):
+        scheduler = Scheduler()
+        errors = []
+
+        def nested():
+            try:
+                scheduler.run()
+            except SchedulerError as e:
+                errors.append(e)
+
+        scheduler.at(0, nested)
+        scheduler.run()
+        assert len(errors) == 1
+
+
+class TestHorizon:
+    def test_horizon_stops(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(10, lambda: fired.append(10))
+        scheduler.at(30, lambda: fired.append(30))
+        scheduler.run(horizon=20)
+        assert fired == [10]
+        assert scheduler.pending() == 1
+
+    def test_events_at_horizon_fire(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(20, lambda: fired.append(20))
+        scheduler.run(horizon=20)
+        assert fired == [20]
+
+    def test_clock_advances_to_horizon_when_idle(self):
+        scheduler = Scheduler()
+        scheduler.run(horizon=50)
+        assert scheduler.now == 50
+
+    def test_resume_after_horizon(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(30, lambda: fired.append(30))
+        scheduler.run(horizon=20)
+        scheduler.run()
+        assert fired == [30]
+
+    def test_run_returns_count(self):
+        scheduler = Scheduler()
+        for i in range(4):
+            scheduler.at(i, lambda: None)
+        assert scheduler.run() == 4

@@ -1,0 +1,78 @@
+"""Property-based tests for hashkey signature chains over random paths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.sigchain import extend_chain, sign_secret, verify_chain
+from repro.crypto.signatures import get_scheme
+
+NAMES = ["P0", "P1", "P2", "P3", "P4", "P5"]
+
+
+def build_env():
+    scheme = get_scheme("hmac-registry")
+    pairs = {
+        name: scheme.keygen(seed=name.encode()).renamed(name) for name in NAMES
+    }
+    directory = KeyDirectory()
+    for pair in pairs.values():
+        directory.register(pair)
+    return scheme, pairs, directory
+
+
+paths = st.lists(
+    st.sampled_from(NAMES), min_size=1, max_size=5, unique=True
+).map(tuple)
+secrets = st.binary(min_size=32, max_size=32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(paths, secrets)
+def test_roundtrip_over_random_paths(path, secret):
+    scheme, pairs, directory = build_env()
+    chain = sign_secret(secret, pairs[path[-1]], scheme)
+    for name in reversed(path[:-1]):
+        chain = extend_chain(chain, pairs[name], scheme)
+    assert verify_chain(chain, secret, path, directory, {scheme.name: scheme})
+
+
+@settings(max_examples=60, deadline=None)
+@given(paths, secrets, secrets)
+def test_wrong_secret_always_rejected(path, secret, other):
+    if secret == other:
+        return
+    scheme, pairs, directory = build_env()
+    chain = sign_secret(secret, pairs[path[-1]], scheme)
+    for name in reversed(path[:-1]):
+        chain = extend_chain(chain, pairs[name], scheme)
+    assert not verify_chain(chain, other, path, directory, {scheme.name: scheme})
+
+
+@settings(max_examples=60, deadline=None)
+@given(paths, paths, secrets)
+def test_path_substitution_rejected(path, other_path, secret):
+    # A chain built for one path never verifies against a different path.
+    if path == other_path:
+        return
+    scheme, pairs, directory = build_env()
+    chain = sign_secret(secret, pairs[path[-1]], scheme)
+    for name in reversed(path[:-1]):
+        chain = extend_chain(chain, pairs[name], scheme)
+    assert not verify_chain(chain, secret, other_path, directory, {scheme.name: scheme})
+
+
+@settings(max_examples=40, deadline=None)
+@given(paths, secrets, st.integers(min_value=0, max_value=4))
+def test_layer_tampering_rejected(path, secret, layer_index):
+    scheme, pairs, directory = build_env()
+    chain = sign_secret(secret, pairs[path[-1]], scheme)
+    for name in reversed(path[:-1]):
+        chain = extend_chain(chain, pairs[name], scheme)
+    index = layer_index % len(chain)
+    from repro.crypto.sigchain import SignatureChain
+
+    layers = list(chain.layers)
+    layers[index] = bytes(len(layers[index]))
+    tampered = SignatureChain(layers=tuple(layers))
+    assert not verify_chain(tampered, secret, path, directory, {scheme.name: scheme})

@@ -1,0 +1,201 @@
+"""Unit tests for the three signature schemes (parametrised where shared)."""
+
+import pytest
+
+from repro.crypto.signatures import (
+    EcdsaSecp256k1Scheme,
+    HmacRegistryScheme,
+    LamportScheme,
+    get_scheme,
+    scheme_names,
+)
+from repro.errors import KeyReuseError, SignatureError, UnknownKeyError
+
+ALL_SCHEMES = ["ecdsa-secp256k1", "lamport", "hmac-registry"]
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def scheme(request):
+    return get_scheme(request.param)
+
+
+class TestSchemeRegistry:
+    def test_names(self):
+        assert set(scheme_names()) == set(ALL_SCHEMES)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(SignatureError):
+            get_scheme("rsa-4096")
+
+    def test_instances_are_fresh(self):
+        assert get_scheme("lamport") is not get_scheme("lamport")
+
+
+class TestRoundtrip:
+    def test_sign_verify(self, scheme):
+        pair = scheme.keygen(seed=b"seed")
+        sig = scheme.sign(b"message", pair)
+        assert scheme.verify(b"message", sig, pair.public_key)
+
+    def test_wrong_message_rejected(self, scheme):
+        pair = scheme.keygen(seed=b"seed")
+        sig = scheme.sign(b"message", pair)
+        assert not scheme.verify(b"other", sig, pair.public_key)
+
+    def test_wrong_key_rejected(self, scheme):
+        pair = scheme.keygen(seed=b"seed")
+        other = scheme.keygen(seed=b"other")
+        sig = scheme.sign(b"message", pair)
+        assert not scheme.verify(b"message", sig, other.public_key)
+
+    def test_tampered_signature_rejected(self, scheme):
+        pair = scheme.keygen(seed=b"seed")
+        sig = bytearray(scheme.sign(b"message", pair))
+        sig[0] ^= 0xFF
+        assert not scheme.verify(b"message", bytes(sig), pair.public_key)
+
+    def test_deterministic_keygen(self, scheme):
+        a = scheme.keygen(seed=b"same")
+        b = scheme.keygen(seed=b"same")
+        assert a.public_key == b.public_key
+        assert a.private_key == b.private_key
+
+    def test_distinct_seeds_distinct_keys(self, scheme):
+        assert (
+            scheme.keygen(seed=b"one").public_key
+            != scheme.keygen(seed=b"two").public_key
+        )
+
+    def test_scheme_mismatch_rejected(self, scheme):
+        other_name = next(n for n in ALL_SCHEMES if n != scheme.name)
+        other = get_scheme(other_name)
+        pair = other.keygen(seed=b"x")
+        with pytest.raises(SignatureError):
+            scheme.sign(b"m", pair)
+
+    def test_wrong_signature_size_raises(self, scheme):
+        pair = scheme.keygen(seed=b"seed")
+        with pytest.raises(SignatureError):
+            scheme.verify(b"m", b"tiny", pair.public_key)
+
+    def test_counters(self, scheme):
+        pair = scheme.keygen(seed=b"seed")
+        assert scheme.sign_count == 0 and scheme.verify_count == 0
+        sig = scheme.sign(b"m", pair)
+        scheme.verify(b"m", sig, pair.public_key)
+        assert scheme.sign_count == 1 and scheme.verify_count == 1
+        scheme.reset_counts()
+        assert scheme.sign_count == 0 and scheme.verify_count == 0
+
+
+class TestEcdsaSpecifics:
+    def test_signature_is_64_bytes(self):
+        scheme = EcdsaSecp256k1Scheme()
+        pair = scheme.keygen(seed=b"k")
+        assert len(scheme.sign(b"m", pair)) == 64
+
+    def test_signature_is_low_s(self):
+        from repro.crypto.signatures import _N
+
+        scheme = EcdsaSecp256k1Scheme()
+        pair = scheme.keygen(seed=b"k")
+        for msg in [b"a", b"b", b"c"]:
+            sig = scheme.sign(msg, pair)
+            s = int.from_bytes(sig[32:], "big")
+            assert 1 <= s <= _N // 2
+
+    def test_deterministic_signatures(self):
+        scheme = EcdsaSecp256k1Scheme()
+        pair = scheme.keygen(seed=b"k")
+        assert scheme.sign(b"m", pair) == scheme.sign(b"m", pair)
+
+    def test_public_key_on_curve(self):
+        from repro.crypto.signatures import _on_curve
+
+        scheme = EcdsaSecp256k1Scheme()
+        pair = scheme.keygen(seed=b"k")
+        point = (
+            int.from_bytes(pair.public_key[:32], "big"),
+            int.from_bytes(pair.public_key[32:], "big"),
+        )
+        assert _on_curve(point)
+
+    def test_off_curve_key_rejected(self):
+        scheme = EcdsaSecp256k1Scheme()
+        pair = scheme.keygen(seed=b"k")
+        sig = scheme.sign(b"m", pair)
+        bogus_key = bytes(64)
+        assert not scheme.verify(b"m", sig, bogus_key)
+
+    def test_zero_rs_rejected(self):
+        scheme = EcdsaSecp256k1Scheme()
+        pair = scheme.keygen(seed=b"k")
+        assert not scheme.verify(b"m", bytes(64), pair.public_key)
+
+
+class TestEcdsaPointMath:
+    def test_generator_order(self):
+        from repro.crypto.signatures import _N, _g_mul
+
+        assert _g_mul(_N) is None  # n*G is the identity
+
+    def test_mul_distributes(self):
+        from repro.crypto.signatures import _g_mul, _point_add
+
+        assert _point_add(_g_mul(3), _g_mul(5)) == _g_mul(8)
+
+    def test_inverse_point(self):
+        from repro.crypto.signatures import _g_mul, _point_add, _N
+
+        assert _point_add(_g_mul(7), _g_mul(_N - 7)) is None
+
+    def test_table_matches_naive(self):
+        from repro.crypto.signatures import _GX, _GY, _g_mul, _point_mul
+
+        for k in [1, 2, 3, 1000, 2**200 + 17]:
+            assert _g_mul(k) == _point_mul(k, (_GX, _GY))
+
+
+class TestLamportSpecifics:
+    def test_one_time_reuse_rejected(self):
+        scheme = LamportScheme()
+        pair = scheme.keygen(seed=b"k")
+        scheme.sign(b"first", pair)
+        with pytest.raises(KeyReuseError):
+            scheme.sign(b"second", pair)
+
+    def test_same_message_resign_ok(self):
+        scheme = LamportScheme()
+        pair = scheme.keygen(seed=b"k")
+        assert scheme.sign(b"same", pair) == scheme.sign(b"same", pair)
+
+    def test_sizes(self):
+        scheme = LamportScheme()
+        pair = scheme.keygen(seed=b"k")
+        assert len(pair.public_key) == scheme.public_key_size
+        assert len(scheme.sign(b"m", pair)) == scheme.signature_size
+
+    def test_reuse_tracking_is_per_instance(self):
+        first = LamportScheme()
+        pair = first.keygen(seed=b"k")
+        first.sign(b"one", pair)
+        # A different instance has no memory (this is why simulations must
+        # share one instance, which SwapSpec arranges).
+        second = LamportScheme()
+        second.sign(b"two", pair)
+
+
+class TestHmacSpecifics:
+    def test_unknown_key_raises(self):
+        scheme = HmacRegistryScheme()
+        pair = scheme.keygen(seed=b"k")
+        sig = scheme.sign(b"m", pair)
+        stranger = HmacRegistryScheme()
+        with pytest.raises(UnknownKeyError):
+            stranger.verify(b"m", sig, pair.public_key)
+
+    def test_sizes(self):
+        scheme = HmacRegistryScheme()
+        pair = scheme.keygen(seed=b"k")
+        assert len(pair.public_key) == 32
+        assert len(scheme.sign(b"m", pair)) == 32
