@@ -1,0 +1,19 @@
+# Developer entry points.  The repo is import-ready with PYTHONPATH=src;
+# no install step is needed.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench-smoke bench
+
+test:            ## full tier-1 suite
+	$(PY) -m pytest -x -q
+
+smoke:           ## the pytest smoke lane (one tiny sweep per engine)
+	$(PY) -m pytest -q -m smoke
+
+bench-smoke:     ## same sweep without pytest, via the repro CLI
+	$(PY) -m repro bench-smoke
+
+bench:           ## the full figure-by-figure benchmark suite
+	$(PY) -m pytest benchmarks/bench_*.py -q

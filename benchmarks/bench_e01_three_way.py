@@ -10,7 +10,7 @@ structure* must match exactly.
 
 from _tables import delta_units, emit_table
 
-from repro.core.protocol import run_swap
+from repro.api import Scenario, get_engine
 from repro.core.timelocks import assign_timeouts
 from repro.digraph.generators import triangle
 from repro.sim import trace as tr
@@ -19,13 +19,16 @@ DELTA = 1000
 
 
 def run_three_way():
-    return run_swap(triangle())
+    """The §1 walkthrough through the unified engine pipeline; the raw
+    SwapResult (with its trace) stays reachable via RunReport.raw."""
+    return get_engine("herlihy").run(Scenario(topology=triangle(), name="e01"))
 
 
 def test_fig1_fig2_timeline(benchmark):
-    result = benchmark.pedantic(run_three_way, rounds=3, iterations=1)
-    assert result.all_deal()
+    report = benchmark.pedantic(run_three_way, rounds=3, iterations=1)
+    assert report.all_deal()
 
+    result = report.raw
     spec = result.spec
     published = result.trace.times_by_arc(tr.CONTRACT_PUBLISHED)
     triggered = result.trace.times_by_arc(tr.ARC_TRIGGERED)

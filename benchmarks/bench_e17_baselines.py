@@ -1,53 +1,67 @@
 """E17 — the protocol vs its baselines, honest and under attack.
 
-One table, four protocols: the paper's hashkey protocol, the §4.6
-single-leader variant, B1 naive equal timeouts, B2 sequential trust,
-B3 trusted-coordinator 2PC.  Reported per protocol: honest completion,
-storage, trust assumption, and what happens under its characteristic
-attack — the shape being that only the paper's protocols keep every
-conforming party out of Underwater without a trusted party.
+One table, five protocols, one pipeline: each engine in the unified
+:mod:`repro.api` registry runs the *same* triangle scenario twice —
+honest and under its characteristic attack — via
+``get_engine(name).run(scenario)``.  Reported per protocol: honest
+completion, storage, trust assumption, and who drowns under attack —
+the shape being that only the paper's protocols keep every conforming
+party out of Underwater without a trusted party.
 """
 
 from _tables import delta_units, emit_table
 
 from repro.analysis.outcomes import Outcome
-from repro.baselines.naive_timelock import run_naive_timelock_swap
-from repro.baselines.pairwise_htlc import run_sequential_trust_swap
-from repro.baselines.two_phase_commit import run_two_phase_commit_swap
-from repro.core.protocol import run_swap
-from repro.core.strategies import LastMomentUnlockParty
-from repro.core.timelocks import run_single_leader_swap
+from repro.api import Scenario, get_engine
 from repro.digraph.generators import triangle
 
 DELTA = 1000
 
+# (table label, engine, attacked-scenario overrides, trusted party)
+PROTOCOLS = [
+    (
+        "hashkey protocol (§4.5)",
+        "herlihy",
+        {"strategies": {"Carol": "last-moment-unlock"}},
+        "none",
+    ),
+    (
+        "single-leader timeouts (§4.6)",
+        "single-leader",
+        {},  # no known attack applies
+        "none",
+    ),
+    (
+        "B1: naive equal timeouts",
+        "naive-timelock",
+        {"params": {"attacker": "Carol"}},
+        "none",
+    ),
+    (
+        "B2: sequential trust",
+        "sequential-trust",
+        {"params": {"first_mover": "Alice", "defectors": ["Carol"]}},
+        "counterparties",
+    ),
+    (
+        "B3: trusted 2PC",
+        "2pc",
+        {"params": {"byzantine_commit_only": [["Alice", "Bob"]]}},
+        "coordinator",
+    ),
+]
+
 
 def run_all():
-    digraph = triangle()
+    honest_scenario = Scenario(topology=triangle(), name="e17:honest")
     results = {}
-
-    honest = run_swap(digraph)
-    attacked = run_swap(digraph, strategies={"Carol": LastMomentUnlockParty})
-    results["hashkey protocol (§4.5)"] = (honest, attacked, "none")
-
-    honest = run_single_leader_swap(digraph)
-    attacked = run_single_leader_swap(digraph)  # no known attack applies
-    results["single-leader timeouts (§4.6)"] = (honest, attacked, "none")
-
-    honest = run_naive_timelock_swap(digraph)
-    attacked = run_naive_timelock_swap(digraph, attacker="Carol")
-    results["B1: naive equal timeouts"] = (honest, attacked, "none")
-
-    honest = run_sequential_trust_swap(digraph)
-    attacked = run_sequential_trust_swap(digraph, first_mover="Alice", defectors={"Carol"})
-    results["B2: sequential trust"] = (honest, attacked, "counterparties")
-
-    honest = run_two_phase_commit_swap(digraph)
-    attacked = run_two_phase_commit_swap(
-        digraph, byzantine_commit_only={("Alice", "Bob")}
-    )
-    results["B3: trusted 2PC"] = (honest, attacked, "coordinator")
-
+    for label, engine_name, attack_overrides, trust in PROTOCOLS:
+        engine = get_engine(engine_name)
+        honest = engine.run(honest_scenario)
+        attacked = engine.run(
+            honest_scenario.with_(name="e17:attacked", **attack_overrides)
+        )
+        results[label] = (honest, attacked, trust)
     return results
 
 
@@ -81,7 +95,9 @@ def test_baseline_comparison(benchmark):
             "attack; B2 drowns its first mover on defection; B3 drowns a "
             "conforming party the moment the coordinator is Byzantine.  "
             "The paper's protocols drown only deviators, with no trusted "
-            "party — at the price of larger contracts and diam-scaled time."
+            "party — at the price of larger contracts and diam-scaled time.  "
+            "All ten runs flow through repro.api's uniform "
+            "Scenario -> Engine -> RunReport pipeline."
         ),
     )
     verdicts = {row[0]: row[6] for row in rows}

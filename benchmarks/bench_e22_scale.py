@@ -5,68 +5,83 @@ and on-chain bytes as swap size grows, for both the dense (complete) and
 sparse (cycle + chords) regimes.  Also exercises the |V|-1 diameter
 fallback on a 20-party swap — the path production deployments of the
 protocol would actually take, since exact longest-path is NP-hard.
+
+The whole grid executes as one :func:`repro.api.run_sweep` call with
+process-pool fan-out; the table is read off the resulting
+:class:`~repro.api.SweepReport`.
 """
 
-import time
 from random import Random
 
 from _tables import emit_table
 
-from repro.core.protocol import SwapConfig, run_swap
+from repro.api import Scenario, Sweep, get_engine, run_sweep
 from repro.digraph.generators import complete_digraph, random_strongly_connected
+
+WORKLOADS = [
+    ("K4", complete_digraph(4), {}),
+    ("K6", complete_digraph(6), {}),
+    ("K8", complete_digraph(8), {"exact_limit": 8}),
+    ("sparse n=10", random_strongly_connected(10, 0.15, Random(1)), {}),
+    ("sparse n=15", random_strongly_connected(15, 0.10, Random(2)),
+     {"exact_limit": 12}),
+    ("sparse n=20", random_strongly_connected(20, 0.08, Random(3)),
+     {"exact_limit": 12}),
+]
 
 
 def sweep():
-    workloads = [
-        ("K4", complete_digraph(4), SwapConfig()),
-        ("K6", complete_digraph(6), SwapConfig()),
-        ("K8", complete_digraph(8), SwapConfig(exact_limit=8)),
-        ("sparse n=10", random_strongly_connected(10, 0.15, Random(1)), SwapConfig()),
-        ("sparse n=15", random_strongly_connected(15, 0.10, Random(2)),
-         SwapConfig(exact_limit=12)),
-        ("sparse n=20", random_strongly_connected(20, 0.08, Random(3)),
-         SwapConfig(exact_limit=12)),
-    ]
+    batch = Sweep("e22-scale")
+    for label, digraph, overrides in WORKLOADS:
+        batch.add(
+            "herlihy", Scenario(topology=digraph, name=label, **overrides)
+        )
+    report = run_sweep(batch, parallel=True)
+
     rows = []
-    for label, digraph, config in workloads:
-        t0 = time.perf_counter()
-        result = run_swap(digraph, config=config)
-        wall_ms = (time.perf_counter() - t0) * 1000
-        assert result.all_deal(), label
+    for run in report.reports:
+        assert run.all_deal(), run.scenario.name
+        digraph = run.scenario.topology
         rows.append(
             [
-                label,
+                run.scenario.name,
                 len(digraph.vertices),
                 digraph.arc_count(),
-                len(result.spec.leaders),
-                result.events_fired,
-                result.stored_bytes,
-                f"{wall_ms:.0f}",
+                len(run.leaders),
+                run.events_fired,
+                run.stored_bytes,
+                f"{run.wall_seconds * 1000:.0f}",
             ]
         )
-    return rows
+    return rows, report
 
 
 def test_scale_sweep(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows, report = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit_table(
         "E22",
-        "Scale characterization: simulation cost vs swap size",
+        "Scale characterization: simulation cost vs swap size "
+        f"(one run_sweep call, {report.mode}, {report.workers} worker(s))",
         ["workload", "|V|", "|A|", "|L|", "events", "stored bytes", "wall ms"],
         rows,
         notes=(
             "All sizes end all-Deal, including the 20-party swap running "
             "on the |V|-1 diameter fallback.  Event counts track "
-            "|A|·|L| (the unlock traffic), matching E10."
+            "|A|·|L| (the unlock traffic), matching E10.  The grid runs "
+            "as one repro.api sweep: per-row wall times are measured "
+            "inside the engine, so they are comparable across workers."
         ),
     )
+    assert len(report) == len(WORKLOADS)
     assert all(int(row[6]) < 30_000 for row in rows)
 
 
 def run_k8():
-    return run_swap(complete_digraph(8), config=SwapConfig(exact_limit=8))
+    return get_engine("herlihy").run(
+        Scenario(topology=complete_digraph(8), name="K8", exact_limit=8)
+    )
 
 
 def test_k8_wall_clock(benchmark):
-    result = benchmark.pedantic(run_k8, rounds=2, iterations=1)
-    assert result.all_deal()
+    report = benchmark.pedantic(run_k8, rounds=2, iterations=1)
+    assert report.all_deal()

@@ -4,6 +4,11 @@ Every benchmark uses the ``benchmark`` fixture (so ``--benchmark-only``
 runs the whole directory) and emits its reproduction table through
 :mod:`benchmarks._tables`.  Heavy simulations are timed with
 ``benchmark.pedantic(rounds=..., iterations=1)`` to keep wall-clock sane.
+
+The ``smoke`` marker tags the tiny per-engine sweeps in
+:mod:`benchmarks.test_smoke_sweep`; ``python -m pytest -q -m smoke``
+(or ``make bench-smoke`` / ``python -m repro bench-smoke``) runs one
+minimal scenario through every registered protocol engine in seconds.
 """
 
 from __future__ import annotations
@@ -17,3 +22,10 @@ if str(SRC) not in sys.path:
 BENCH_DIR = Path(__file__).resolve().parent
 if str(BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(BENCH_DIR))
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "smoke: tiny per-engine sweep; the CI fast lane (pytest -m smoke)",
+    )

@@ -1,0 +1,34 @@
+"""Smoke lane: one tiny sweep per protocol engine, well under 30 seconds.
+
+``python -m pytest -q -m smoke`` (or ``make bench-smoke``) runs these as
+the CI fast lane; the same sweep is reachable without pytest through
+``python -m repro bench-smoke``.
+"""
+
+import pytest
+
+from repro.api import Scenario, get_engine, list_engines, run_sweep, smoke_sweep
+from repro.digraph.generators import triangle
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("engine", sorted(list_engines()))
+def test_engine_smoke(engine):
+    """Every registered engine carries the §1 triangle to all-Deal."""
+    report = get_engine(engine).run(
+        Scenario(topology=triangle(), name=f"smoke:{engine}")
+    )
+    assert report.all_deal()
+    assert report.conforming_acceptable()
+    assert report.within_time_bound()
+
+
+@pytest.mark.smoke
+def test_smoke_sweep_all_engines():
+    """The canonical smoke grid (shared with ``python -m repro
+    bench-smoke``) fans every engine over two tiny topologies."""
+    report = run_sweep(smoke_sweep(), parallel=True)
+    assert len(report) == 2 * len(list_engines())
+    assert not report.failures
+    assert report.all_deal_rate() == 1.0
+    assert report.wall_seconds < 30.0

@@ -14,36 +14,33 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import Outcome, run_swap, two_leader_triangle
+from repro import Scenario, get_engine, two_leader_triangle
 from repro.analysis.attacks import free_ride_partition, non_fvs_deadlock
 from repro.analysis.equilibrium import check_strong_nash
-from repro.core.strategies import (
-    GreedyClaimOnlyParty,
-    LastMomentUnlockParty,
-    PrematureRevealParty,
-    RefuseToPublishParty,
-    WithholdSecretParty,
-    WrongContractParty,
-)
 from repro.digraph.generators import not_strongly_connected_example
 
+# Strategies are referenced by their repro.api registry names, so each
+# attack scenario is a frozen, serializable object.
 STRATEGIES = [
-    ("refuse to publish", RefuseToPublishParty),
-    ("withhold secret", WithholdSecretParty),
-    ("premature reveal", PrematureRevealParty),
-    ("last-moment unlock", LastMomentUnlockParty),
-    ("forged contract", WrongContractParty),
-    ("claim-only free ride", GreedyClaimOnlyParty),
+    ("refuse to publish", "refuse-to-publish"),
+    ("withhold secret", "withhold-secret"),
+    ("premature reveal", "premature-reveal"),
+    ("last-moment unlock", "last-moment-unlock"),
+    ("forged contract", "wrong-contract"),
+    ("claim-only free ride", "greedy-claim-only"),
 ]
 
 
 def main() -> None:
     digraph = two_leader_triangle()
+    engine = get_engine("herlihy")
     print("Adversary tour on the two-leader digraph K3 (leaders A, B):\n")
     for label, strategy in STRATEGIES:
-        result = run_swap(digraph, strategies={"A": strategy})
-        outcomes = {v: o.value for v, o in sorted(result.outcomes.items())}
-        safe = result.conforming_acceptable()
+        report = engine.run(
+            Scenario(topology=digraph, name=label, strategies={"A": strategy})
+        )
+        outcomes = {v: o.value for v, o in sorted(report.outcomes.items())}
+        safe = report.conforming_acceptable()
         print(f"  A plays '{label}':")
         print(f"    outcomes {outcomes}  conforming safe: {safe}")
         assert safe

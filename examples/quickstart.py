@@ -2,7 +2,10 @@
 
 Builds the paper's §1 three-way swap digraph (Alice -> Bob -> Carol ->
 Alice), executes the protocol with all-conforming parties, and prints the
-outcome, the timeline, and the per-chain asset movements.
+outcome, the timeline, and the per-chain asset movements.  Then reruns
+the *same* scenario through every registered protocol engine via the
+unified :mod:`repro.api` pipeline — one ``Scenario``, six engines, one
+``RunReport`` shape.
 
 Run:  python examples/quickstart.py
 """
@@ -12,7 +15,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import run_swap, triangle
+from repro import Scenario, get_engine, list_engines, run_swap, triangle
 
 
 def main() -> None:
@@ -42,6 +45,18 @@ def main() -> None:
 
     assert result.all_deal(), "every conforming run must end all-Deal"
     print("\nAll parties finished with Deal; the swap was atomic.")
+
+    print("\nThe same swap through every registered protocol engine:")
+    scenario = Scenario(topology=digraph, name="quickstart")
+    for name in list_engines():
+        report = get_engine(name).run(scenario)
+        assert report.all_deal(), name
+        print(
+            f"  {name:<16} completion={report.completion_time:<5} "
+            f"contract bytes={report.contract_storage_bytes:<5} "
+            f"wall={report.wall_seconds * 1000:.1f}ms"
+        )
+    print("\nSix protocols, one Scenario -> Engine -> RunReport pipeline.")
 
 
 if __name__ == "__main__":

@@ -19,8 +19,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import CrashPoint, FaultPlan, Outcome, run_swap
-from repro.baselines import run_naive_timelock_swap
+from repro import CrashPoint, FaultPlan, Outcome, Scenario, get_engine, run_swap
 from repro.chain.blockchain import Blockchain
 from repro.core.clearing import (
     MarketClearingService,
@@ -94,7 +93,9 @@ def main() -> None:
     assert result.conforming_acceptable()
 
     print("\n--- What if all timeouts were equal? (§1's warning) " + "-" * 12)
-    naive = run_naive_timelock_swap(digraph, attacker="Carol")
+    naive = get_engine("naive-timelock").run(
+        Scenario(topology=digraph, name="equal-timeouts", params={"attacker": "Carol"})
+    )
     for party, o in sorted(naive.outcomes.items()):
         marker = ""
         if o is Outcome.UNDERWATER:

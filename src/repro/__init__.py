@@ -1,12 +1,30 @@
 """repro: a reproduction of "Atomic Cross-Chain Swaps" (Herlihy, PODC 2018).
 
-Quickstart::
+Quickstart (legacy one-liner)::
 
     from repro import run_swap, triangle
 
     result = run_swap(triangle())   # Alice/Bob/Carol's three-way swap (§1)
     assert result.all_deal()
     print(result.summary())
+
+Quickstart (unified engine API) — every protocol variant behind one
+``Scenario -> Engine -> RunReport`` pipeline::
+
+    from repro import Scenario, get_engine, list_engines, triangle
+
+    scenario = Scenario(topology=triangle(), seed=7)
+    for name in list_engines():          # herlihy, single-leader, multiswap,
+        report = get_engine(name).run(scenario)   # naive-timelock, ...
+        assert report.all_deal()
+        print(name, report.completion_time, report.stored_bytes)
+
+Batched comparisons fan out over a process pool::
+
+    from repro import Sweep, run_sweep
+
+    sweep = Sweep("compare").add_product(list_engines(), [triangle()])
+    print(run_sweep(sweep).summary())
 
 Submodules (see DESIGN.md for the full inventory):
 
@@ -19,11 +37,24 @@ Submodules (see DESIGN.md for the full inventory):
 * :mod:`repro.analysis` — outcome classification and game-theoretic checks.
 * :mod:`repro.baselines`— comparison protocols (naive timelocks, sequential
   trust, trusted-coordinator 2PC).
+* :mod:`repro.api`      — the unified Scenario/Engine/RunReport layer and
+  the parallel sweep runner.
 
 The most common entry points are re-exported at the top level.
 """
 
 from repro.analysis.outcomes import ACCEPTABLE_OUTCOMES, Outcome, classify_all
+from repro.api import (
+    Engine,
+    RunReport,
+    Scenario,
+    Sweep,
+    SweepReport,
+    get_engine,
+    list_engines,
+    register_engine,
+    run_sweep,
+)
 from repro.core.clearing import MarketClearingService, Offer, ProposedTransfer
 from repro.core.hashkey import Hashkey
 from repro.core.protocol import SwapConfig, SwapResult, SwapSimulation, run_swap
@@ -38,15 +69,24 @@ from repro.digraph.generators import (
     two_leader_triangle,
 )
 from repro.digraph.multigraph import MultiDigraph
-from repro.errors import ReproError
+from repro.errors import ReproError, ScenarioError, UnknownEngineError
 from repro.sim.faults import Crash, CrashPoint, FaultPlan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ACCEPTABLE_OUTCOMES",
     "Outcome",
     "classify_all",
+    "Engine",
+    "RunReport",
+    "Scenario",
+    "Sweep",
+    "SweepReport",
+    "get_engine",
+    "list_engines",
+    "register_engine",
+    "run_sweep",
     "MarketClearingService",
     "Offer",
     "ProposedTransfer",
@@ -65,6 +105,8 @@ __all__ = [
     "two_leader_triangle",
     "MultiDigraph",
     "ReproError",
+    "ScenarioError",
+    "UnknownEngineError",
     "Crash",
     "CrashPoint",
     "FaultPlan",

@@ -1,9 +1,19 @@
-"""``python -m repro``: run the paper's three-way swap as a live demo."""
+"""``python -m repro``: live demos of the paper's protocol.
+
+* ``python -m repro`` — the three-way swap walkthrough, honest and
+  with a crash fault;
+* ``python -m repro bench-smoke`` — one tiny sweep per registered
+  protocol engine through :func:`repro.api.run_sweep` (the same runs
+  ``pytest -m smoke`` asserts on); exits non-zero if any engine fails
+  to carry the all-conforming triangle to all-Deal.
+"""
+
+import sys
 
 from repro import CrashPoint, FaultPlan, run_swap, triangle
 
 
-def main() -> None:
+def demo() -> int:
     print(__doc__)
     print("1. All-conforming three-way swap (Alice -> Bob -> Carol -> Alice):\n")
     result = run_swap(triangle())
@@ -25,7 +35,33 @@ def main() -> None:
     print("\nConforming parties stayed out of Underwater (Theorem 4.9):",
           result.conforming_acceptable())
     print("\nSee examples/ for more scenarios and benchmarks/ for the paper's figures.")
+    return 0
+
+
+def bench_smoke() -> int:
+    from repro.api import run_sweep, smoke_sweep
+
+    report = run_sweep(smoke_sweep(), parallel=True)
+    print(report.summary())
+    failed = [r.scenario.name for r in report.reports if not r.all_deal()]
+    failed += [f"{f.engine}:{f.scenario.label()}" for f in report.failures]
+    if failed:
+        print(f"FAILED: {failed}")
+        return 1
+    print("OK: every engine carried its scenarios to all-Deal.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    # Unrecognised arguments fall through to the demo so the module stays
+    # runnable under harnesses (runpy, pytest) that leave their own argv.
+    args = sys.argv[1:] if argv is None else argv
+    if args and args[0] == "bench-smoke":
+        return bench_smoke()
+    return demo()
 
 
 if __name__ == "__main__":
-    main()
+    code = main()
+    if code:
+        raise SystemExit(code)

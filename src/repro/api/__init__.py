@@ -1,0 +1,88 @@
+"""repro.api: the unified protocol-engine layer.
+
+Three nouns cover every protocol in the library:
+
+* :class:`Scenario` — a frozen, serializable description of one run
+  (topology, Δ-model parameters, fault plan, strategy assignments, seed,
+  engine-specific params);
+* :class:`Engine` — a registered protocol adapter with a uniform
+  ``run(scenario) -> RunReport`` contract; six ship by default:
+  ``herlihy``, ``single-leader``, ``multiswap``, ``naive-timelock``,
+  ``sequential-trust``, ``2pc``;
+* :class:`RunReport` — one result shape for all of them: per-party
+  Fig.-3 outcomes, triggered/refunded arcs, model and wall time,
+  message/byte metrics, ``to_dict()``/``from_dict()`` round-trip.
+
+Quickstart::
+
+    from repro.api import Scenario, get_engine, list_engines
+
+    scenario = Scenario(topology=triangle(), seed=7)
+    for name in list_engines():
+        report = get_engine(name).run(scenario)
+        print(name, report.all_deal())
+
+Batched comparison with process-pool fan-out::
+
+    from repro.api import Sweep, run_sweep
+
+    sweep = Sweep("compare").add_product(list_engines(), [triangle()])
+    print(run_sweep(sweep).summary())
+"""
+
+from repro.api.engine import Engine, get_engine, list_engines, register_engine
+from repro.api.engines import (
+    ENGINES,
+    HerlihyEngine,
+    MultiswapEngine,
+    NaiveTimelockEngine,
+    SequentialTrustEngine,
+    SingleLeaderEngine,
+    TwoPhaseCommitEngine,
+)
+from repro.api.report import RunReport
+from repro.api.scenario import STRATEGIES, Scenario, resolve_strategy
+from repro.api.sweep import (
+    FailedRun,
+    Sweep,
+    SweepReport,
+    derive_seed,
+    run_item,
+    run_sweep,
+    smoke_sweep,
+)
+from repro.errors import (
+    EngineError,
+    ScenarioError,
+    UnknownEngineError,
+    UnknownStrategyError,
+)
+
+__all__ = [
+    "Engine",
+    "get_engine",
+    "list_engines",
+    "register_engine",
+    "ENGINES",
+    "HerlihyEngine",
+    "SingleLeaderEngine",
+    "MultiswapEngine",
+    "NaiveTimelockEngine",
+    "SequentialTrustEngine",
+    "TwoPhaseCommitEngine",
+    "RunReport",
+    "Scenario",
+    "STRATEGIES",
+    "resolve_strategy",
+    "FailedRun",
+    "Sweep",
+    "SweepReport",
+    "derive_seed",
+    "run_item",
+    "run_sweep",
+    "smoke_sweep",
+    "EngineError",
+    "ScenarioError",
+    "UnknownEngineError",
+    "UnknownStrategyError",
+]

@@ -1,0 +1,75 @@
+"""`Engine`: the uniform protocol-adapter contract plus its registry.
+
+Every protocol variant in the library — the paper's hashkey protocol,
+the §4.6 single-leader variant, the §5 multigraph extension, and the
+three baselines — is exposed as an :class:`Engine` with one method that
+matters: ``run(scenario) -> RunReport``.  Engines are looked up by name
+(:func:`get_engine`), so benchmarks and sweeps can treat protocols as
+interchangeable modules and iterate over :func:`list_engines`.
+
+Lookup failures raise :class:`repro.errors.UnknownEngineError`, whose
+message lists every registered name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.api.report import RunReport, wall_clock
+from repro.api.scenario import Scenario
+from repro.errors import EngineError, UnknownEngineError
+
+_REGISTRY: dict[str, "Engine"] = {}
+
+
+class Engine(ABC):
+    """A registered protocol adapter with a uniform run contract.
+
+    Subclasses implement :meth:`execute`, returning whichever legacy
+    result object their protocol produces; :meth:`run` wraps it with
+    wall-clock timing and normalises to a :class:`RunReport`.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    #: One-line human description for tables and ``list_engines`` docs.
+    description: str = ""
+
+    @abstractmethod
+    def execute(self, scenario: Scenario) -> Any:
+        """Run the underlying simulation, returning its native result."""
+
+    def run(self, scenario: Scenario) -> RunReport:
+        """Execute ``scenario`` and return the unified :class:`RunReport`."""
+        with wall_clock() as wall:
+            result = self.execute(scenario)
+        return RunReport.from_result(self.name, scenario, result, wall.seconds)
+
+
+def register_engine(engine: Engine, replace: bool = False) -> Engine:
+    """Add an engine to the registry; returns it for chaining."""
+    if not engine.name:
+        raise EngineError(f"{type(engine).__name__} has no name")
+    if engine.name in _REGISTRY and not replace:
+        raise EngineError(f"engine {engine.name!r} is already registered")
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def get_engine(name: str) -> Engine:
+    """Look up a registered engine by name.
+
+    Raises :class:`UnknownEngineError` (listing the registered names)
+    when no engine matches.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownEngineError(name, tuple(_REGISTRY)) from None
+
+
+def list_engines() -> tuple[str, ...]:
+    """All registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))

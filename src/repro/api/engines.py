@@ -1,0 +1,248 @@
+"""The six protocol adapters, registered at import time.
+
+============== =======================================================
+name           wraps
+============== =======================================================
+herlihy        :func:`repro.core.protocol.run_swap` (§4.5 hashkeys)
+single-leader  :func:`repro.core.timelocks.run_single_leader_swap` (§4.6)
+multiswap      :func:`repro.core.multiswap.run_multigraph_swap` (§5)
+naive-timelock baseline B1 — equal timeouts (the §1 anti-pattern)
+sequential-trust baseline B2 — sequential trusted transfers
+2pc            baseline B3 — trusted-coordinator two-phase commit
+============== =======================================================
+
+Each adapter documents the ``Scenario.params`` keys it recognises and
+raises :class:`repro.errors.ScenarioError` on anything it cannot express
+(unknown params, fault plans on baselines with no crash model, strategy
+names on engines with incompatible party classes) — a scenario that runs
+is a scenario that was fully honoured.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.engine import Engine, register_engine
+from repro.api.scenario import Scenario
+from repro.baselines.naive_timelock import _run_naive_timelock_swap
+from repro.baselines.pairwise_htlc import _run_sequential_trust_swap
+from repro.baselines.two_phase_commit import _run_two_phase_commit_swap
+from repro.core.multiswap import run_multigraph_swap
+from repro.core.protocol import run_swap
+from repro.core.timelocks import run_single_leader_swap
+from repro.digraph.digraph import Arc, Digraph, Vertex
+from repro.digraph.multigraph import MultiDigraph
+from repro.errors import ScenarioError
+
+# ---------------------------------------------------------------------------
+# param plumbing
+# ---------------------------------------------------------------------------
+
+
+def _check_params(engine: "Engine", scenario: Scenario, allowed: frozenset[str]) -> None:
+    unknown = set(scenario.params) - allowed
+    if unknown:
+        raise ScenarioError(
+            f"engine {engine.name!r} does not recognise params "
+            f"{sorted(unknown)}; allowed: {sorted(allowed) or 'none'}"
+        )
+
+
+def _require_no_faults(engine: "Engine", scenario: Scenario) -> None:
+    if scenario.faults.crashes:
+        raise ScenarioError(
+            f"engine {engine.name!r} has no crash-fault model; "
+            f"drop the fault plan for {sorted(scenario.faults.crashes)}"
+        )
+
+
+def _require_no_strategies(engine: "Engine", scenario: Scenario) -> None:
+    if scenario.strategies:
+        raise ScenarioError(
+            f"engine {engine.name!r} does not accept named strategies "
+            f"(its parties are not SwapParty subclasses); use params instead"
+        )
+
+
+def _arc_set(value: Any) -> set[Arc]:
+    """Coerce a JSON-shaped arc collection ([["u","v"], ...]) to arcs."""
+    return {tuple(arc) for arc in value}
+
+
+def _single_leader(engine: "Engine", scenario: Scenario) -> Vertex | None:
+    if scenario.leaders is not None and len(scenario.leaders) > 1:
+        raise ScenarioError(
+            f"engine {engine.name!r} supports exactly one leader; got "
+            f"{list(scenario.leaders)} — use the 'herlihy' engine for "
+            "multi-leader swaps"
+        )
+    leader = scenario.params.get("leader")
+    if leader is None and scenario.leaders:
+        leader = scenario.leaders[0]
+    return leader
+
+
+def _simple_digraph(engine: "Engine", scenario: Scenario) -> Digraph:
+    """The scenario's topology as a simple digraph — refusing to silently
+    drop parallel arcs a multigraph scenario actually asked for."""
+    topology = scenario.topology
+    if isinstance(topology, MultiDigraph):
+        simple = topology.underlying_simple()
+        if topology.arc_count() != simple.arc_count():
+            raise ScenarioError(
+                f"engine {engine.name!r} runs on simple digraphs; the "
+                f"topology has {topology.arc_count()} keyed arcs over "
+                f"{simple.arc_count()} vertex pairs — use the 'multiswap' "
+                "engine to honour parallel arcs"
+            )
+        return simple
+    return topology
+
+
+# ---------------------------------------------------------------------------
+# the adapters
+# ---------------------------------------------------------------------------
+
+
+class HerlihyEngine(Engine):
+    """§4.5 hashkey protocol on an arbitrary strongly connected digraph."""
+
+    name = "herlihy"
+    description = "hashkey/timelock protocol (§4.5), any leader set"
+
+    def execute(self, scenario: Scenario):
+        _check_params(self, scenario, frozenset())
+        return run_swap(
+            _simple_digraph(self, scenario),
+            leaders=scenario.leaders,
+            config=scenario.config(),
+            faults=scenario.faults,
+            strategies=scenario.resolved_strategies(),
+        )
+
+
+class SingleLeaderEngine(Engine):
+    """§4.6 single-leader variant: plain timeouts, no signatures.
+
+    params: ``leader`` (defaults to ``scenario.leaders[0]`` or an
+    automatically discovered single-vertex feedback vertex set).
+    """
+
+    name = "single-leader"
+    description = "single-leader timeout protocol (§4.6)"
+
+    def execute(self, scenario: Scenario):
+        _check_params(self, scenario, frozenset({"leader"}))
+        _require_no_strategies(self, scenario)
+        return run_single_leader_swap(
+            _simple_digraph(self, scenario),
+            leader=_single_leader(self, scenario),
+            config=scenario.config(),
+            faults=scenario.faults,
+        )
+
+
+class MultiswapEngine(Engine):
+    """§5 multigraph extension; lifts simple digraphs to multiplicity 1."""
+
+    name = "multiswap"
+    description = "directed-multigraph swaps (§5) via arc bundling"
+
+    def execute(self, scenario: Scenario):
+        _check_params(self, scenario, frozenset())
+        topology = scenario.topology
+        if isinstance(topology, Digraph):
+            topology = MultiDigraph(topology.vertices, topology.arcs)
+        return run_multigraph_swap(
+            topology,
+            leaders=scenario.leaders,
+            config=scenario.config(),
+            faults=scenario.faults,
+            strategies=scenario.resolved_strategies(),
+        )
+
+
+class NaiveTimelockEngine(Engine):
+    """Baseline B1: equal timeouts on every arc (the §1 anti-pattern).
+
+    params: ``leader``, ``attacker`` (plays the last-moment reveal),
+    ``timeout_multiple`` (shared deadline in Δ-multiples).
+    """
+
+    name = "naive-timelock"
+    description = "baseline B1: hashed timelocks with equal timeouts"
+
+    def execute(self, scenario: Scenario):
+        _check_params(
+            self, scenario, frozenset({"leader", "attacker", "timeout_multiple"})
+        )
+        _require_no_strategies(self, scenario)
+        return _run_naive_timelock_swap(
+            _simple_digraph(self, scenario),
+            leader=_single_leader(self, scenario),
+            attacker=scenario.params.get("attacker"),
+            config=scenario.config(),
+            faults=scenario.faults,
+            timeout_multiple=scenario.params.get("timeout_multiple"),
+        )
+
+
+class SequentialTrustEngine(Engine):
+    """Baseline B2: sequential trusted transfers, no atomicity.
+
+    params: ``first_mover``, ``defectors`` (list of parties that take
+    the money and run).
+    """
+
+    name = "sequential-trust"
+    description = "baseline B2: sequential trusted transfers"
+
+    def execute(self, scenario: Scenario):
+        _check_params(self, scenario, frozenset({"first_mover", "defectors"}))
+        _require_no_strategies(self, scenario)
+        _require_no_faults(self, scenario)
+        defectors = scenario.params.get("defectors")
+        return _run_sequential_trust_swap(
+            _simple_digraph(self, scenario),
+            first_mover=scenario.params.get("first_mover"),
+            defectors=set(defectors) if defectors else None,
+            config=scenario.config(),
+        )
+
+
+class TwoPhaseCommitEngine(Engine):
+    """Baseline B3: trusted-coordinator two-phase commit.
+
+    params: ``byzantine_commit_only`` (arc subset the coordinator
+    commits, aborting the rest), ``coordinator_crashes`` (bool).
+    """
+
+    name = "2pc"
+    description = "baseline B3: trusted-coordinator two-phase commit"
+
+    def execute(self, scenario: Scenario):
+        _check_params(
+            self, scenario, frozenset({"byzantine_commit_only", "coordinator_crashes"})
+        )
+        _require_no_strategies(self, scenario)
+        _require_no_faults(self, scenario)
+        commit_only = scenario.params.get("byzantine_commit_only")
+        return _run_two_phase_commit_swap(
+            _simple_digraph(self, scenario),
+            config=scenario.config(),
+            byzantine_commit_only=_arc_set(commit_only) if commit_only else None,
+            coordinator_crashes=bool(scenario.params.get("coordinator_crashes", False)),
+        )
+
+
+ENGINES: tuple[Engine, ...] = tuple(
+    register_engine(engine)
+    for engine in (
+        HerlihyEngine(),
+        SingleLeaderEngine(),
+        MultiswapEngine(),
+        NaiveTimelockEngine(),
+        SequentialTrustEngine(),
+        TwoPhaseCommitEngine(),
+    )
+)

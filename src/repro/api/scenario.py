@@ -1,0 +1,239 @@
+"""`Scenario`: one frozen, serializable description of a protocol run.
+
+A scenario pins down *everything* a protocol engine needs to execute one
+swap deterministically: the topology (simple digraph or §5 multigraph),
+the Δ-model parameters, the fault plan, deviating-strategy assignments
+(by registered name, so scenarios stay serializable), the seed, and a
+bag of engine-specific ``params``.  The same scenario handed to two
+different engines is the paper's comparative method in one object: the
+topology and adversary stay fixed while the protocol varies.
+
+Scenarios round-trip through :meth:`Scenario.to_dict` /
+:meth:`Scenario.from_dict` (plain JSON-compatible values only), which is
+also what lets :mod:`repro.api.sweep` ship them across process
+boundaries without pickling live simulation objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from repro.core.protocol import SwapConfig
+from repro.core.strategies import (
+    GreedyClaimOnlyParty,
+    LastMomentUnlockParty,
+    PrematureRevealParty,
+    RefuseToPublishParty,
+    SelectiveUnlockParty,
+    WithholdSecretParty,
+    WrongContractParty,
+)
+from repro.crypto.signatures import DEFAULT_SCHEME_NAME
+from repro.digraph.digraph import Digraph, Vertex
+from repro.digraph.multigraph import MultiDigraph
+from repro.digraph.paths import EXACT_LONGEST_PATH_LIMIT
+from repro.errors import ScenarioError, UnknownStrategyError
+from repro.sim.clock import DEFAULT_DELTA
+from repro.sim.faults import Crash, CrashPoint, FaultPlan
+from repro.sim.process import DEFAULT_ACTION_FRACTION, DEFAULT_REACTION_FRACTION
+
+# ---------------------------------------------------------------------------
+# Deviating-strategy registry (names keep scenarios serializable)
+# ---------------------------------------------------------------------------
+
+STRATEGIES: dict[str, type] = {
+    "refuse-to-publish": RefuseToPublishParty,
+    "withhold-secret": WithholdSecretParty,
+    "premature-reveal": PrematureRevealParty,
+    "selective-unlock": SelectiveUnlockParty,
+    "last-moment-unlock": LastMomentUnlockParty,
+    "wrong-contract": WrongContractParty,
+    "greedy-claim-only": GreedyClaimOnlyParty,
+}
+
+
+def resolve_strategy(name: str) -> type:
+    """Look up a deviating-party class by its registered name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise UnknownStrategyError(name, tuple(STRATEGIES)) from None
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalise params to JSON-compatible values (tuples/sets -> lists)."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonify(v) for v in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ScenarioError(
+        f"scenario params must be JSON-compatible; got {type(value).__name__}"
+    )
+
+
+def _topology_to_dict(topology: Digraph | MultiDigraph) -> dict:
+    if isinstance(topology, MultiDigraph):
+        return {
+            "kind": "multigraph",
+            "vertices": list(topology.vertices),
+            "arcs": [list(arc) for arc in topology.arcs],
+        }
+    return {"kind": "digraph", **topology.to_dict()}
+
+
+def _topology_from_dict(data: dict) -> Digraph | MultiDigraph:
+    if data.get("kind") == "multigraph":
+        return MultiDigraph(
+            data["vertices"], [tuple(arc) for arc in data["arcs"]]
+        )
+    return Digraph(data["vertices"], [tuple(arc) for arc in data["arcs"]])
+
+
+def _faults_to_dict(faults: FaultPlan) -> dict:
+    return {
+        party: {
+            "at_time": crash.at_time,
+            "at_point": crash.at_point.value if crash.at_point else None,
+        }
+        for party, crash in faults.crashes.items()
+    }
+
+
+def _faults_from_dict(data: dict) -> FaultPlan:
+    plan = FaultPlan()
+    for party, crash in data.items():
+        point = crash.get("at_point")
+        plan.crash(
+            party,
+            at_time=crash.get("at_time"),
+            at_point=CrashPoint(point) if point else None,
+        )
+    return plan
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A frozen description of one protocol run.
+
+    Engine-agnostic fields mirror :class:`repro.core.protocol.SwapConfig`;
+    engine-specific knobs (attacker, defectors, Byzantine commit subsets,
+    ...) ride in ``params`` — see each adapter in
+    :mod:`repro.api.engines` for its recognised keys.
+    """
+
+    topology: Digraph | MultiDigraph
+    name: str = ""
+    leaders: tuple[Vertex, ...] | None = None
+    delta: int = DEFAULT_DELTA
+    timeout_slack: int = 0
+    start_time: int | None = None
+    use_broadcast: bool = False
+    reaction_fraction: float = DEFAULT_REACTION_FRACTION
+    action_fraction: float = DEFAULT_ACTION_FRACTION
+    seed: int = 7
+    exact_limit: int = EXACT_LONGEST_PATH_LIMIT
+    diam_override: int | None = None
+    scheme_name: str = DEFAULT_SCHEME_NAME
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    strategies: dict[Vertex, str] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.topology, (Digraph, MultiDigraph)):
+            raise ScenarioError(
+                "topology must be a Digraph or MultiDigraph, got "
+                f"{type(self.topology).__name__}"
+            )
+        object.__setattr__(
+            self,
+            "leaders",
+            tuple(self.leaders) if self.leaders is not None else None,
+        )
+        object.__setattr__(self, "strategies", dict(self.strategies))
+        object.__setattr__(self, "params", _jsonify(self.params))
+        for vertex, strategy in self.strategies.items():
+            if not isinstance(strategy, str):
+                raise ScenarioError(
+                    f"strategy for {vertex!r} must be a registered name "
+                    f"(one of {sorted(STRATEGIES)}), got {strategy!r}"
+                )
+
+    # -- derived views -------------------------------------------------------
+
+    def digraph(self) -> Digraph:
+        """The underlying simple digraph (multigraphs project down)."""
+        if isinstance(self.topology, MultiDigraph):
+            return self.topology.underlying_simple()
+        return self.topology
+
+    def config(self) -> SwapConfig:
+        """The equivalent legacy :class:`SwapConfig`."""
+        return SwapConfig(
+            delta=self.delta,
+            timeout_slack=self.timeout_slack,
+            scheme_name=self.scheme_name,
+            start_time=self.start_time,
+            use_broadcast=self.use_broadcast,
+            reaction_fraction=self.reaction_fraction,
+            action_fraction=self.action_fraction,
+            seed=self.seed,
+            exact_limit=self.exact_limit,
+            diam_override=self.diam_override,
+        )
+
+    def resolved_strategies(self) -> dict[Vertex, type]:
+        """Strategy names resolved to party classes (hashkey engines)."""
+        return {v: resolve_strategy(name) for v, name in self.strategies.items()}
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """A modified copy (``dataclasses.replace`` with a short name)."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        d = self.digraph()
+        return f"|V|={len(d.vertices)}|A|={d.arc_count()}seed={self.seed}"
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible representation; inverse of :meth:`from_dict`."""
+        return {
+            "topology": _topology_to_dict(self.topology),
+            "name": self.name,
+            "leaders": list(self.leaders) if self.leaders is not None else None,
+            "delta": self.delta,
+            "timeout_slack": self.timeout_slack,
+            "start_time": self.start_time,
+            "use_broadcast": self.use_broadcast,
+            "reaction_fraction": self.reaction_fraction,
+            "action_fraction": self.action_fraction,
+            "seed": self.seed,
+            "exact_limit": self.exact_limit,
+            "diam_override": self.diam_override,
+            "scheme_name": self.scheme_name,
+            "faults": _faults_to_dict(self.faults),
+            "strategies": dict(self.strategies),
+            "params": self.params,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(f"unknown scenario fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["topology"] = _topology_from_dict(data["topology"])
+        if data.get("leaders") is not None:
+            kwargs["leaders"] = tuple(data["leaders"])
+        kwargs["faults"] = _faults_from_dict(data.get("faults", {}))
+        return cls(**kwargs)

@@ -1,0 +1,353 @@
+"""Batched scenario sweeps with process-pool fan-out.
+
+:class:`Sweep` builds scenario grids (cartesian products over engines ×
+topologies × fault plans × parameter sets), assigning each scenario a
+deterministic per-scenario seed derived from the sweep's base seed — so
+a sweep is reproducible regardless of worker count or execution order.
+
+:func:`run_sweep` executes a sweep either serially or via a chunked
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Workers receive
+scenarios as plain dicts and return reports as plain dicts (the
+:class:`RunReport` round-trip), so no live simulation object ever
+crosses a process boundary.  If the platform cannot spawn a pool the
+sweep degrades to serial execution rather than failing.
+
+:class:`SweepReport` aggregates the per-run reports into per-engine
+tables: run counts, all-Deal and Theorem-4.9 safety rates, mean model
+and wall time, and byte totals.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.api.engine import get_engine
+from repro.api.report import RunReport
+from repro.api.scenario import Scenario
+from repro.crypto.hashing import sha256
+from repro.digraph.digraph import Digraph
+from repro.digraph.multigraph import MultiDigraph
+from repro.errors import EngineError
+from repro.sim.faults import FaultPlan
+
+#: One unit of sweep work: which engine runs which scenario.
+SweepItem = tuple[str, Scenario]
+
+
+def derive_seed(base_seed: int, engine: str, index: int) -> int:
+    """A stable 31-bit seed for scenario ``index`` of ``engine``."""
+    digest = sha256(f"sweep:{base_seed}:{engine}:{index}".encode())
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+class Sweep:
+    """A builder for an ordered batch of (engine, scenario) runs."""
+
+    def __init__(self, name: str = "", base_seed: int = 7) -> None:
+        self.name = name
+        self.base_seed = base_seed
+        self._items: list[SweepItem] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> tuple[SweepItem, ...]:
+        return tuple(self._items)
+
+    def add(self, engine: str, scenario: Scenario) -> "Sweep":
+        """Append one run, keeping the scenario's own seed and name."""
+        get_engine(engine)  # fail fast on typos
+        self._items.append((engine, scenario))
+        return self
+
+    def add_product(
+        self,
+        engines: Iterable[str],
+        topologies: Iterable[Digraph | MultiDigraph | tuple[str, Digraph | MultiDigraph]],
+        fault_plans: Iterable[FaultPlan | None] = (None,),
+        params_grid: Iterable[dict[str, Any]] = ({},),
+        strategies_grid: Iterable[dict[str, str]] = ({},),
+        **scenario_kwargs: Any,
+    ) -> "Sweep":
+        """Cartesian expansion: every engine × topology × fault plan ×
+        params × strategies combination becomes one scenario.
+
+        Topologies may be bare graphs or ``(label, graph)`` pairs; the
+        label feeds the auto-generated scenario name.  Each generated
+        scenario gets a deterministic seed from :func:`derive_seed`.
+        """
+        engines = list(engines)
+        topologies = list(topologies)
+        fault_plans = list(fault_plans)
+        params_grid = list(params_grid)
+        strategies_grid = list(strategies_grid)
+        for engine in engines:
+            get_engine(engine)
+            for topo_entry in topologies:
+                if isinstance(topo_entry, tuple) and len(topo_entry) == 2:
+                    topo_label, topology = topo_entry
+                else:
+                    topology, topo_label = topo_entry, ""
+                for faults in fault_plans:
+                    for params in params_grid:
+                        for strategies in strategies_grid:
+                            index = len(self._items)
+                            label = topo_label or f"topo{len(topology.vertices)}"
+                            scenario = Scenario(
+                                topology=topology,
+                                name=f"{self.name or 'sweep'}:{engine}:{label}#{index}",
+                                seed=derive_seed(self.base_seed, engine, index),
+                                faults=faults or FaultPlan(),
+                                params=params,
+                                strategies=strategies,
+                                **scenario_kwargs,
+                            )
+                            self._items.append((engine, scenario))
+        return self
+
+
+def smoke_sweep() -> Sweep:
+    """The canonical smoke grid: every registered engine over two tiny
+    topologies.  Shared by ``python -m repro bench-smoke`` and the
+    ``pytest -m smoke`` lane so the two stay the same runs by
+    construction."""
+    from repro.api.engine import list_engines
+    from repro.digraph.generators import cycle_digraph, triangle
+
+    return Sweep("smoke").add_product(
+        list_engines(), [("tri", triangle()), ("c4", cycle_digraph(4))]
+    )
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def _run_payload(payload: tuple[str, dict]) -> dict:
+    """Worker entry point: dict in, dict out (must stay module-level so
+    it pickles under both fork and spawn start methods).
+
+    Domain errors (:class:`ReproError` — e.g. a single-leader engine on
+    a digraph with no single-vertex feedback vertex set) are expected in
+    cartesian sweeps and come back as failure records instead of killing
+    the whole batch; genuine bugs still propagate.
+    """
+    from repro.errors import ReproError
+
+    engine_name, scenario_dict = payload
+    scenario = Scenario.from_dict(scenario_dict)
+    try:
+        report = get_engine(engine_name).run(scenario)
+    except ReproError as error:
+        return {
+            "ok": False,
+            "engine": engine_name,
+            "scenario": scenario_dict,
+            "error_type": type(error).__name__,
+            "message": str(error),
+        }
+    return {"ok": True, "report": report.to_dict()}
+
+
+def run_item(item: SweepItem) -> RunReport:
+    """Run one (engine, scenario) pair in-process."""
+    engine_name, scenario = item
+    return get_engine(engine_name).run(scenario)
+
+
+@dataclass
+class FailedRun:
+    """One scenario an engine could not express or execute."""
+
+    engine: str
+    scenario: Scenario
+    error_type: str
+    message: str
+
+
+@dataclass
+class SweepReport:
+    """Aggregated results of one sweep execution.
+
+    ``reports`` holds the successful runs in sweep order; scenarios that
+    raised a :class:`~repro.errors.ReproError` (infeasible topology for
+    the engine, contradictory params, ...) land in ``failures`` rather
+    than aborting the batch.
+    """
+
+    reports: list[RunReport]
+    wall_seconds: float
+    mode: str
+    """``process-pool``, ``serial``, or ``serial-fallback``."""
+    workers: int = 1
+    failures: list[FailedRun] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def raise_failures(self) -> None:
+        """Escalate collected failures into one :class:`EngineError`."""
+        if self.failures:
+            details = "; ".join(
+                f"{f.engine}:{f.scenario.label()}: {f.error_type}: {f.message}"
+                for f in self.failures
+            )
+            raise EngineError(f"{len(self.failures)} sweep run(s) failed: {details}")
+
+    def by_engine(self) -> dict[str, list[RunReport]]:
+        grouped: dict[str, list[RunReport]] = {}
+        for report in self.reports:
+            grouped.setdefault(report.engine, []).append(report)
+        return grouped
+
+    def select(self, predicate: Callable[[RunReport], bool]) -> list[RunReport]:
+        return [r for r in self.reports if predicate(r)]
+
+    def all_deal_rate(self, engine: str | None = None) -> float:
+        pool = [r for r in self.reports if engine is None or r.engine == engine]
+        if not pool:
+            return 0.0
+        return sum(r.all_deal() for r in pool) / len(pool)
+
+    def table_rows(self) -> list[list[object]]:
+        """Per-engine aggregate rows for :func:`benchmarks._tables.emit_table`:
+        ``[engine, runs, all-Deal, safe, mean completion, mean stored
+        bytes, total wall ms]``."""
+        rows: list[list[object]] = []
+        for engine, reports in sorted(self.by_engine().items()):
+            completions = [
+                r.completion_time for r in reports if r.completion_time is not None
+            ]
+            rows.append(
+                [
+                    engine,
+                    len(reports),
+                    sum(r.all_deal() for r in reports),
+                    sum(r.conforming_acceptable() for r in reports),
+                    (
+                        f"{sum(completions) / len(completions):.0f}"
+                        if completions
+                        else "-"
+                    ),
+                    f"{sum(r.stored_bytes for r in reports) / len(reports):.0f}",
+                    f"{sum(r.wall_seconds for r in reports) * 1000:.0f}",
+                ]
+            )
+        return rows
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep: {len(self.reports)} runs in {self.wall_seconds * 1000:.0f}ms "
+            f"({self.mode}, {self.workers} worker(s))"
+        ]
+        for engine, reports in sorted(self.by_engine().items()):
+            deals = sum(r.all_deal() for r in reports)
+            safe = sum(r.conforming_acceptable() for r in reports)
+            lines.append(
+                f"  {engine:<16} runs={len(reports):<3} all-Deal={deals:<3} "
+                f"Thm4.9-safe={safe}"
+            )
+        for failure in self.failures:
+            lines.append(
+                f"  FAILED {failure.engine}:{failure.scenario.label()} — "
+                f"{failure.error_type}: {failure.message}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "reports": [r.to_dict() for r in self.reports],
+            "failures": [
+                {
+                    "engine": f.engine,
+                    "scenario": f.scenario.to_dict(),
+                    "error_type": f.error_type,
+                    "message": f.message,
+                }
+                for f in self.failures
+            ],
+        }
+
+
+def run_sweep(
+    sweep: Sweep | Sequence[SweepItem],
+    parallel: bool = True,
+    max_workers: int | None = None,
+    chunksize: int | None = None,
+) -> SweepReport:
+    """Execute every scenario in ``sweep`` and aggregate the reports.
+
+    With ``parallel=True`` (the default) scenarios fan out over a
+    chunked :class:`ProcessPoolExecutor`; report order always matches
+    sweep order.  Scenarios are deterministic in their seeds, so serial
+    and parallel execution produce identical reports (modulo wall
+    time).
+    """
+    items = sweep.items() if isinstance(sweep, Sweep) else tuple(sweep)
+    if not items:
+        raise EngineError("run_sweep needs at least one scenario")
+    start = time.perf_counter()
+    payloads = [(engine, scenario.to_dict()) for engine, scenario in items]
+
+    if parallel and len(items) > 1:
+        workers = max_workers or min(len(items), os.cpu_count() or 2, 8)
+        if chunksize is None:
+            chunksize = max(1, len(items) // (workers * 4))
+        # Only pool-infrastructure failures trigger the serial fallback;
+        # exceptions raised by engine code inside a worker propagate
+        # unchanged (domain errors were already collected worker-side).
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError, RuntimeError):
+            mode = "serial-fallback"
+        if pool is not None:
+            try:
+                with pool:
+                    dicts = list(
+                        pool.map(_run_payload, payloads, chunksize=chunksize)
+                    )
+                return _assemble(dicts, start, "process-pool", workers)
+            except (BrokenProcessPool, OSError, PermissionError):
+                # Sandboxes that refuse fork/spawn at submit time still
+                # get a correct (serial) sweep.
+                mode = "serial-fallback"
+    else:
+        mode = "serial"
+
+    return _assemble([_run_payload(p) for p in payloads], start, mode, 1)
+
+
+def _assemble(
+    dicts: list[dict], start: float, mode: str, workers: int
+) -> SweepReport:
+    reports: list[RunReport] = []
+    failures: list[FailedRun] = []
+    for entry in dicts:
+        if entry["ok"]:
+            reports.append(RunReport.from_dict(entry["report"]))
+        else:
+            failures.append(
+                FailedRun(
+                    engine=entry["engine"],
+                    scenario=Scenario.from_dict(entry["scenario"]),
+                    error_type=entry["error_type"],
+                    message=entry["message"],
+                )
+            )
+    return SweepReport(
+        reports=reports,
+        wall_seconds=time.perf_counter() - start,
+        mode=mode,
+        workers=workers,
+        failures=failures,
+    )

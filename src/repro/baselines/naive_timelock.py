@@ -18,6 +18,8 @@ with the hashkey protocol, where the same behaviour is harmless
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.protocol import SwapConfig, SwapResult
 from repro.core.timelocks import (
     SingleLeaderParty,
@@ -37,7 +39,7 @@ class LastMomentSingleLeaderParty(SingleLeaderParty):
         return max(self.profile.action_delay, deadline - margin - self.scheduler.now)
 
 
-def run_naive_timelock_swap(
+def _run_naive_timelock_swap(
     digraph: Digraph,
     leader: Vertex | None = None,
     attacker: Vertex | None = None,
@@ -68,3 +70,28 @@ def run_naive_timelock_swap(
         timeouts=timeouts,
     )
     return simulation.run()
+
+
+def run_naive_timelock_swap(
+    digraph: Digraph,
+    leader: Vertex | None = None,
+    attacker: Vertex | None = None,
+    config: SwapConfig | None = None,
+    faults: FaultPlan | None = None,
+    timeout_multiple: int | None = None,
+) -> SwapResult:
+    """Deprecated shim; use ``repro.api.get_engine("naive-timelock")``."""
+    warnings.warn(
+        "run_naive_timelock_swap is deprecated; use "
+        "repro.api.get_engine('naive-timelock').run(scenario) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_naive_timelock_swap(
+        digraph,
+        leader=leader,
+        attacker=attacker,
+        config=config,
+        faults=faults,
+        timeout_multiple=timeout_multiple,
+    )

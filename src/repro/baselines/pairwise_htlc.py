@@ -18,6 +18,7 @@ comparable.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.chain.blockchain import Blockchain
@@ -113,7 +114,7 @@ class SequentialParty(Process):
             self.trace.record(now, tr.ARC_TRIGGERED, self.address, arc=list(arc))
 
 
-def run_sequential_trust_swap(
+def _run_sequential_trust_swap(
     digraph: Digraph,
     first_mover: Vertex | None = None,
     defectors: set[Vertex] | None = None,
@@ -193,4 +194,22 @@ def run_sequential_trust_swap(
         parties=parties,
         conforming=conforming,
         events_fired=events,
+    )
+
+
+def run_sequential_trust_swap(
+    digraph: Digraph,
+    first_mover: Vertex | None = None,
+    defectors: set[Vertex] | None = None,
+    config: SwapConfig | None = None,
+) -> SwapResult:
+    """Deprecated shim; use ``repro.api.get_engine("sequential-trust")``."""
+    warnings.warn(
+        "run_sequential_trust_swap is deprecated; use "
+        "repro.api.get_engine('sequential-trust').run(scenario) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_sequential_trust_swap(
+        digraph, first_mover=first_mover, defectors=defectors, config=config
     )

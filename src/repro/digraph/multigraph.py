@@ -109,6 +109,17 @@ class MultiDigraph:
     def transpose(self) -> "MultiDigraph":
         return MultiDigraph(self._vertices, [(v, u, k) for (u, v, k) in self._arcs])
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiDigraph):
+            return NotImplemented
+        return (
+            set(self._vertices) == set(other._vertices)
+            and self._arc_set == other._arc_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._vertices), self._arc_set))
+
     def __repr__(self) -> str:
         return (
             f"MultiDigraph(|V|={len(self._vertices)}, |A|={len(self._arcs)})"

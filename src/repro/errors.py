@@ -107,6 +107,47 @@ class ClearingError(ProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# Unified protocol-engine API (repro.api)
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ProtocolError):
+    """Base class for failures in the :mod:`repro.api` engine layer."""
+
+
+class UnknownEngineError(EngineError):
+    """No engine is registered under the requested name.
+
+    The message lists every registered engine so typos are self-diagnosing.
+    """
+
+    def __init__(self, name: str, registered: tuple[str, ...] | list[str] = ()) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        known = ", ".join(sorted(self.registered)) or "<none>"
+        super().__init__(
+            f"unknown engine {name!r}; registered engines: {known}"
+        )
+
+
+class UnknownStrategyError(EngineError):
+    """No deviating-party strategy is registered under the requested name."""
+
+    def __init__(self, name: str, registered: tuple[str, ...] | list[str] = ()) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        known = ", ".join(sorted(self.registered)) or "<none>"
+        super().__init__(
+            f"unknown strategy {name!r}; registered strategies: {known}"
+        )
+
+
+class ScenarioError(EngineError):
+    """A :class:`repro.api.Scenario` asked an engine for something it
+    cannot express (e.g. fault plans on a baseline with no crash model)."""
+
+
+# ---------------------------------------------------------------------------
 # Simulation substrate
 # ---------------------------------------------------------------------------
 
