@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke bench
+.PHONY: test smoke bench-smoke bench lab-smoke
 
 test:            ## full tier-1 suite
 	$(PY) -m pytest -x -q
@@ -17,3 +17,6 @@ bench-smoke:     ## same sweep without pytest, via the repro CLI
 
 bench:           ## the full figure-by-figure benchmark suite
 	$(PY) -m pytest benchmarks/bench_*.py -q
+
+lab-smoke:       ## the lab smoke preset through the run store
+	$(PY) -m repro lab run --preset smoke

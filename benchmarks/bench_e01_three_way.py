@@ -8,7 +8,7 @@ in 0.45Δ, so absolute times land earlier but the *order and spacing
 structure* must match exactly.
 """
 
-from _tables import delta_units, emit_table
+from _tables import delta_units, emit_bench_json, emit_table
 
 from repro.api import Scenario, get_engine
 from repro.core.timelocks import assign_timeouts
@@ -67,3 +67,12 @@ def test_fig1_fig2_timeline(benchmark):
     assert [timeouts[a] // DELTA for a in
             [("Alice", "Bob"), ("Bob", "Carol"), ("Carol", "Alice")]] == [6, 5, 4]
     assert result.completion_time <= spec.phase_two_bound()
+
+    emit_bench_json(
+        "E01",
+        [report],
+        aggregates={
+            "completion_delta_units": report.completion_time / DELTA,
+            "phase_two_bound_delta_units": report.phase_two_bound / DELTA,
+        },
+    )

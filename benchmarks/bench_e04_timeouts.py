@@ -9,7 +9,7 @@ new with the unified API — actually *runs* each feasible family through
 carries an all-conforming swap to all-Deal.
 """
 
-from _tables import emit_table
+from _tables import emit_bench_json, emit_table
 
 from repro.api import Scenario, get_engine
 from repro.core.timelocks import assign_timeouts, verify_gap_property
@@ -41,6 +41,7 @@ FAMILIES = [
 def sweep():
     engine = get_engine("single-leader")
     rows = []
+    reports = []
     for label, digraph, leader in FAMILIES:
         try:
             timeouts = assign_timeouts(digraph, leader, DELTA, start_time=DELTA)
@@ -52,6 +53,7 @@ def sweep():
         report = engine.run(
             Scenario(topology=digraph, leaders=(leader,), name=f"e04:{label}")
         )
+        reports.append(report)
         rows.append(
             [
                 label,
@@ -61,11 +63,11 @@ def sweep():
                 "all-Deal" if report.all_deal() else "INCOMPLETE",
             ]
         )
-    return rows
+    return rows, reports
 
 
 def test_fig6_timeout_feasibility(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    rows, reports = benchmark.pedantic(sweep, rounds=3, iterations=1)
     emit_table(
         "E04",
         "Figure 6: single-leader timeout assignment across families",
@@ -87,3 +89,13 @@ def test_fig6_timeout_feasibility(benchmark):
         if row[1] == "feasible":
             assert row[3] == "Δ-gap holds"
             assert row[4] == "all-Deal"
+
+    emit_bench_json(
+        "E04",
+        reports,
+        aggregates={
+            "families": len(FAMILIES),
+            "feasible": sum(row[1] == "feasible" for row in rows),
+            "infeasible": sum(row[1] == "INFEASIBLE" for row in rows),
+        },
+    )

@@ -9,7 +9,7 @@ the shape being that only the paper's protocols keep every conforming
 party out of Underwater without a trusted party.
 """
 
-from _tables import delta_units, emit_table
+from _tables import delta_units, emit_bench_json, emit_table
 
 from repro.analysis.outcomes import Outcome
 from repro.api import Scenario, get_engine
@@ -108,3 +108,13 @@ def test_baseline_comparison(benchmark):
     assert verdicts["B3: trusted 2PC"] == "BROKEN"
     for row in rows:
         assert row[4] == "all-Deal"  # every protocol works when honest
+
+    emit_bench_json(
+        "E17",
+        [report for honest, attacked, _ in results.values()
+         for report in (honest, attacked)],
+        aggregates={
+            "safe_under_attack": sum(v == "SAFE" for v in verdicts.values()),
+            "broken_under_attack": sum(v == "BROKEN" for v in verdicts.values()),
+        },
+    )

@@ -7,13 +7,15 @@ fallback on a 20-party swap — the path production deployments of the
 protocol would actually take, since exact longest-path is NP-hard.
 
 The whole grid executes as one :func:`repro.api.run_sweep` call with
-process-pool fan-out; the table is read off the resulting
-:class:`~repro.api.SweepReport`.
+process-pool fan-out, recorded through the :mod:`repro.lab` bench store —
+a warm re-run of this bench serves every scenario from
+``results/bench_runs.jsonl`` and executes zero engines.  The table is
+read off the resulting :class:`~repro.api.SweepReport`.
 """
 
 from random import Random
 
-from _tables import emit_table
+from _tables import bench_store, emit_bench_json, emit_table
 
 from repro.api import Scenario, Sweep, get_engine, run_sweep
 from repro.digraph.generators import complete_digraph, random_strongly_connected
@@ -36,7 +38,8 @@ def sweep():
         batch.add(
             "herlihy", Scenario(topology=digraph, name=label, **overrides)
         )
-    report = run_sweep(batch, parallel=True)
+    with bench_store() as store:
+        report = run_sweep(batch, parallel=True, store=store)
 
     rows = []
     for run in report.reports:
@@ -74,6 +77,17 @@ def test_scale_sweep(benchmark):
     )
     assert len(report) == len(WORKLOADS)
     assert all(int(row[6]) < 30_000 for row in rows)
+
+    emit_bench_json(
+        "E22",
+        report.reports,
+        aggregates={
+            "mode": report.mode,
+            "executed": report.executed,
+            "cached": report.cached,
+            "sweep_wall_ms": round(report.wall_seconds * 1000, 1),
+        },
+    )
 
 
 def run_k8():

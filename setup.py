@@ -1,9 +1,29 @@
 """Setup shim for environments without the ``wheel`` package.
 
 ``pip install -e . --no-build-isolation`` in an offline environment needs
-the legacy setuptools path; all real metadata lives in ``pyproject.toml``.
+the legacy setuptools path.  The version is single-sourced from
+``repro.__version__`` so the package metadata can never drift from the
+library.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).resolve().parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"', _INIT.read_text(encoding="utf-8"), re.MULTILINE
+).group(1)
+
+setup(
+    name="repro",
+    version=VERSION,
+    description=(
+        "Reproduction of Herlihy's 'Atomic Cross-Chain Swaps' (PODC 2018): "
+        "protocol engines, workload lab, and a content-addressed run store"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+)

@@ -39,6 +39,10 @@ Submodules (see DESIGN.md for the full inventory):
   trust, trusted-coordinator 2PC).
 * :mod:`repro.api`      — the unified Scenario/Engine/RunReport layer and
   the parallel sweep runner.
+* :mod:`repro.lab`      — seeded workload generators (topology families ×
+  adversary mixes) and the content-addressed run store that makes sweeps
+  resumable (``run_sweep(..., store=...)``; warm re-runs execute zero
+  engines).
 
 The most common entry points are re-exported at the top level.
 """
@@ -70,9 +74,10 @@ from repro.digraph.generators import (
 )
 from repro.digraph.multigraph import MultiDigraph
 from repro.errors import ReproError, ScenarioError, UnknownEngineError
+from repro.lab import RunStore, Workload, build_sweep, open_store
 from repro.sim.faults import Crash, CrashPoint, FaultPlan
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ACCEPTABLE_OUTCOMES",
@@ -107,6 +112,10 @@ __all__ = [
     "ReproError",
     "ScenarioError",
     "UnknownEngineError",
+    "RunStore",
+    "Workload",
+    "build_sweep",
+    "open_store",
     "Crash",
     "CrashPoint",
     "FaultPlan",

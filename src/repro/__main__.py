@@ -1,11 +1,16 @@
-"""``python -m repro``: live demos of the paper's protocol.
+"""``python -m repro``: live demos and the experiment lab.
 
 * ``python -m repro`` — the three-way swap walkthrough, honest and
   with a crash fault;
 * ``python -m repro bench-smoke`` — one tiny sweep per registered
   protocol engine through :func:`repro.api.run_sweep` (the same runs
   ``pytest -m smoke`` asserts on); exits non-zero if any engine fails
-  to carry the all-conforming triangle to all-Deal.
+  to carry the all-conforming triangle to all-Deal;
+* ``python -m repro lab run|ls|show|diff|families|mixes|presets`` —
+  the :mod:`repro.lab` workload lab: expand seeded topology × adversary
+  grids, execute them through the content-addressed run store (warm
+  re-runs execute zero engines), and inspect or compare stored runs.
+  ``python -m repro lab --help`` lists the options.
 """
 
 import sys
@@ -58,6 +63,10 @@ def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if args and args[0] == "bench-smoke":
         return bench_smoke()
+    if args and args[0] == "lab":
+        from repro.lab.cli import main as lab_main
+
+        return lab_main(args[1:])
     return demo()
 
 

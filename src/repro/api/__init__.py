@@ -28,6 +28,10 @@ Batched comparison with process-pool fan-out::
 
     sweep = Sweep("compare").add_product(list_engines(), [triangle()])
     print(run_sweep(sweep).summary())
+
+Passing ``store=`` (see :mod:`repro.lab.store`) makes sweeps resumable:
+runs are content-addressed by :func:`run_key` and warm re-runs execute
+zero engines.
 """
 
 from repro.api.engine import Engine, get_engine, list_engines, register_engine
@@ -41,13 +45,19 @@ from repro.api.engines import (
     TwoPhaseCommitEngine,
 )
 from repro.api.report import RunReport
-from repro.api.scenario import STRATEGIES, Scenario, resolve_strategy
+from repro.api.scenario import (
+    STRATEGIES,
+    Scenario,
+    canonical_json,
+    resolve_strategy,
+)
 from repro.api.sweep import (
     FailedRun,
     Sweep,
     SweepReport,
     derive_seed,
     run_item,
+    run_key,
     run_sweep,
     smoke_sweep,
 )
@@ -73,12 +83,14 @@ __all__ = [
     "RunReport",
     "Scenario",
     "STRATEGIES",
+    "canonical_json",
     "resolve_strategy",
     "FailedRun",
     "Sweep",
     "SweepReport",
     "derive_seed",
     "run_item",
+    "run_key",
     "run_sweep",
     "smoke_sweep",
     "EngineError",

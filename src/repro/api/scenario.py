@@ -16,6 +16,7 @@ boundaries without pickling live simulation objects.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
@@ -29,6 +30,7 @@ from repro.core.strategies import (
     WithholdSecretParty,
     WrongContractParty,
 )
+from repro.crypto.hashing import sha256
 from repro.crypto.signatures import DEFAULT_SCHEME_NAME
 from repro.digraph.digraph import Digraph, Vertex
 from repro.digraph.multigraph import MultiDigraph
@@ -75,6 +77,18 @@ def _jsonify(value: Any) -> Any:
         return value
     raise ScenarioError(
         f"scenario params must be JSON-compatible; got {type(value).__name__}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON encoding used for content addressing.
+
+    Sorted keys, no whitespace, ASCII-only — two structurally equal
+    JSON-compatible values always encode to the same byte string, so the
+    encoding is a fit hash preimage.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True
     )
 
 
@@ -224,6 +238,31 @@ class Scenario:
             "strategies": dict(self.strategies),
             "params": self.params,
         }
+
+    def canonical_dict(self) -> dict:
+        """The content of this scenario, normalised for hashing.
+
+        Differs from :meth:`to_dict` in two ways: the display ``name`` is
+        dropped (renaming a scenario does not change the run it
+        describes), and topology vertices/arcs are sorted (matching
+        :class:`Digraph` equality, which ignores declaration order).  Not
+        an input format — use :meth:`to_dict` for round-trips.
+        """
+        data = self.to_dict()
+        del data["name"]
+        topology = data["topology"]
+        topology["vertices"] = sorted(topology["vertices"])
+        topology["arcs"] = sorted(topology["arcs"])
+        return data
+
+    def content_hash(self) -> str:
+        """A stable SHA-256 hex digest of :meth:`canonical_dict`.
+
+        Equal for any two scenarios describing the same run, regardless
+        of construction order or display name; the basis of the
+        :mod:`repro.lab.store` content addressing.
+        """
+        return sha256(canonical_json(self.canonical_dict()).encode()).hex()
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":

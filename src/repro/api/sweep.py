@@ -15,6 +15,14 @@ sweep degrades to serial execution rather than failing.
 :class:`SweepReport` aggregates the per-run reports into per-engine
 tables: run counts, all-Deal and Theorem-4.9 safety rates, mean model
 and wall time, and byte totals.
+
+Passing ``store=`` (any object with ``get(key) -> dict | None`` and
+``put(key, dict)`` — see :mod:`repro.lab.store`) makes sweeps
+*resumable*: scenarios whose :func:`run_key` is already stored are
+served from the store without executing an engine, and every fresh
+result is persisted the moment its worker returns, so an interrupted
+sweep picks up where it left off and a warm re-run executes zero
+engines.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.api.engine import get_engine
 from repro.api.report import RunReport
-from repro.api.scenario import Scenario
+from repro.api.scenario import Scenario, canonical_json
 from repro.crypto.hashing import sha256
 from repro.digraph.digraph import Digraph
 from repro.digraph.multigraph import MultiDigraph
@@ -43,6 +51,28 @@ def derive_seed(base_seed: int, engine: str, index: int) -> int:
     """A stable 31-bit seed for scenario ``index`` of ``engine``."""
     digest = sha256(f"sweep:{base_seed}:{engine}:{index}".encode())
     return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+#: Bump when the meaning of a stored run changes incompatibly (fields
+#: added to RunReport are fine; reinterpreting existing ones is not).
+RUN_KEY_SCHEMA = 1
+
+
+def run_key(engine: str, scenario: Scenario) -> str:
+    """The content address of one (engine, scenario) run.
+
+    A SHA-256 hex digest over the engine name and the scenario's
+    canonical content (:meth:`Scenario.canonical_dict` — display names
+    excluded, topology order normalised).  Two sweeps that describe the
+    same physical run derive the same key, which is what lets
+    :mod:`repro.lab.store` serve warm results instead of re-executing.
+    """
+    payload = {
+        "schema": RUN_KEY_SCHEMA,
+        "engine": engine,
+        "scenario": scenario.canonical_dict(),
+    }
+    return sha256(canonical_json(payload).encode()).hex()
 
 
 class Sweep:
@@ -184,9 +214,14 @@ class SweepReport:
     reports: list[RunReport]
     wall_seconds: float
     mode: str
-    """``process-pool``, ``serial``, or ``serial-fallback``."""
+    """``process-pool``, ``serial``, ``serial-fallback``, or ``cached``
+    (every scenario was served from the store)."""
     workers: int = 1
     failures: list[FailedRun] = field(default_factory=list)
+    executed: int = 0
+    """Scenarios that actually ran an engine this invocation."""
+    cached: int = 0
+    """Scenarios served from the run store without executing."""
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -242,9 +277,10 @@ class SweepReport:
         return rows
 
     def summary(self) -> str:
+        cache_note = f", {self.cached} cached" if self.cached else ""
         lines = [
             f"sweep: {len(self.reports)} runs in {self.wall_seconds * 1000:.0f}ms "
-            f"({self.mode}, {self.workers} worker(s))"
+            f"({self.mode}, {self.workers} worker(s){cache_note})"
         ]
         for engine, reports in sorted(self.by_engine().items()):
             deals = sum(r.all_deal() for r in reports)
@@ -265,6 +301,8 @@ class SweepReport:
             "mode": self.mode,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
+            "executed": self.executed,
+            "cached": self.cached,
             "reports": [r.to_dict() for r in self.reports],
             "failures": [
                 {
@@ -283,6 +321,7 @@ def run_sweep(
     parallel: bool = True,
     max_workers: int | None = None,
     chunksize: int | None = None,
+    store: Any | None = None,
 ) -> SweepReport:
     """Execute every scenario in ``sweep`` and aggregate the reports.
 
@@ -291,17 +330,42 @@ def run_sweep(
     sweep order.  Scenarios are deterministic in their seeds, so serial
     and parallel execution produce identical reports (modulo wall
     time).
+
+    With ``store=`` (a :class:`repro.lab.store.RunStore` or anything
+    with the same ``get``/``put`` contract) the sweep is incremental:
+    scenarios whose :func:`run_key` the store already holds are served
+    from it (``SweepReport.cached``) and never reach an engine, while
+    fresh results are persisted one by one as workers return them — an
+    interrupted sweep resumes from the last completed scenario, and a
+    fully warm re-run reports ``mode == "cached"`` with zero engine
+    executions.
     """
     items = sweep.items() if isinstance(sweep, Sweep) else tuple(sweep)
     if not items:
         raise EngineError("run_sweep needs at least one scenario")
     start = time.perf_counter()
-    payloads = [(engine, scenario.to_dict()) for engine, scenario in items]
 
-    if parallel and len(items) > 1:
-        workers = max_workers or min(len(items), os.cpu_count() or 2, 8)
+    entries: list[dict | None] = [None] * len(items)
+    keys: list[str | None] = [None] * len(items)
+    if store is not None:
+        for index, (engine_name, scenario) in enumerate(items):
+            keys[index] = run_key(engine_name, scenario)
+            entries[index] = store.get(keys[index])
+    pending = [i for i in range(len(items)) if entries[i] is None]
+    payloads = [(items[i][0], items[i][1].to_dict()) for i in pending]
+
+    def record(index: int, entry: dict) -> None:
+        entries[index] = entry
+        if store is not None:
+            store.put(keys[index], entry)
+
+    mode = "cached"
+    workers = 0
+    if payloads and parallel and len(payloads) > 1:
+        mode = "process-pool"
+        workers = max_workers or min(len(payloads), os.cpu_count() or 2, 8)
         if chunksize is None:
-            chunksize = max(1, len(items) // (workers * 4))
+            chunksize = max(1, len(payloads) // (workers * 4))
         # Only pool-infrastructure failures trigger the serial fallback;
         # exceptions raised by engine code inside a worker propagate
         # unchanged (domain errors were already collected worker-side).
@@ -309,26 +373,39 @@ def run_sweep(
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except (OSError, PermissionError, RuntimeError):
-            mode = "serial-fallback"
+            mode, workers = "serial-fallback", 1
         if pool is not None:
             try:
                 with pool:
-                    dicts = list(
-                        pool.map(_run_payload, payloads, chunksize=chunksize)
-                    )
-                return _assemble(dicts, start, "process-pool", workers)
+                    results = pool.map(_run_payload, payloads, chunksize=chunksize)
+                    for index, entry in zip(pending, results):
+                        record(index, entry)
             except (BrokenProcessPool, OSError, PermissionError):
                 # Sandboxes that refuse fork/spawn at submit time still
-                # get a correct (serial) sweep.
-                mode = "serial-fallback"
-    else:
-        mode = "serial"
+                # get a correct (serial) sweep; anything recorded before
+                # the pool broke is kept, not re-run.
+                mode, workers = "serial-fallback", 1
+    elif payloads:
+        mode, workers = "serial", 1
 
-    return _assemble([_run_payload(p) for p in payloads], start, mode, 1)
+    if mode in ("serial", "serial-fallback"):
+        for index, payload in zip(pending, payloads):
+            if entries[index] is None:
+                record(index, _run_payload(payload))
+
+    return _assemble(
+        entries, start, mode, workers,
+        executed=len(pending), cached=len(items) - len(pending),
+    )
 
 
 def _assemble(
-    dicts: list[dict], start: float, mode: str, workers: int
+    dicts: list[dict],
+    start: float,
+    mode: str,
+    workers: int,
+    executed: int = 0,
+    cached: int = 0,
 ) -> SweepReport:
     reports: list[RunReport] = []
     failures: list[FailedRun] = []
@@ -350,4 +427,6 @@ def _assemble(
         mode=mode,
         workers=workers,
         failures=failures,
+        executed=executed,
+        cached=cached,
     )

@@ -17,7 +17,11 @@ deterministic.  The families used by the benchmarks:
 * :func:`not_strongly_connected_example` — for the impossibility benches
   (Lemma 3.4);
 * :func:`layered_crown` — bipartite-ish family with large minimum FVS,
-  stressing multi-leader behaviour.
+  stressing multi-leader behaviour;
+* :func:`star_digraph` / :func:`wheel_digraph` — hub-and-spoke broker
+  topologies (single-leader, and the smallest two-leader step up);
+* :func:`two_coalition_digraph` — the parameterized Lemma 3.4
+  counterexample family behind ``repro.lab``'s impossibility workloads.
 """
 
 from __future__ import annotations
@@ -199,3 +203,60 @@ def chain_digraph(n: int, prefix: str = "P") -> Digraph:
         raise DigraphError("a chain needs at least two vertices")
     names = _names(n, prefix)
     return Digraph(names, [(names[i], names[i + 1]) for i in range(n - 1)])
+
+
+def star_digraph(points: int) -> Digraph:
+    """A hub exchanging with ``points`` spokes: ``HUB⇄S_i`` for each spoke.
+
+    Every cycle passes through the hub, so ``{HUB}`` is the unique
+    minimum FVS — the canonical single-leader broker topology (a market
+    maker swapping against ``points`` independent counterparties).
+    """
+    if points < 1:
+        raise DigraphError("a star needs at least one point")
+    hub = "HUB"
+    names = [f"S{i:02d}" for i in range(points)]
+    arcs: list[Arc] = []
+    for name in names:
+        arcs += [(hub, name), (name, hub)]
+    return Digraph([hub] + names, arcs)
+
+
+def wheel_digraph(rim: int) -> Digraph:
+    """A :func:`star_digraph` whose rim vertices also form a directed cycle.
+
+    The rim cycle avoids the hub, so no single vertex is an FVS:
+    the minimum is ``{HUB, one rim vertex}`` — the smallest step up
+    from single-leader topologies.
+    """
+    if rim < 2:
+        raise DigraphError("a wheel rim needs at least two vertices")
+    digraph = star_digraph(rim)
+    names = [v for v in digraph.vertices if v != "HUB"]
+    return digraph.with_arcs(
+        [(names[i], names[(i + 1) % rim]) for i in range(rim)]
+    )
+
+
+def two_coalition_digraph(left: int = 2, right: int = 2, bridges: int = 1) -> Digraph:
+    """Lemma 3.4's counterexample family, parameterized: a ``left``-cycle
+    ``X`` and a ``right``-cycle ``Y`` joined by ``bridges`` arcs from
+    ``X`` to ``Y`` and none back.
+
+    NOT strongly connected by construction: coalition ``X`` can trigger
+    only its internal arcs and free-ride on whatever crosses the cut, so
+    no swap protocol can protect ``Y`` (Theorem 3.5).  ``left = right =
+    2, bridges = 1`` is exactly :func:`not_strongly_connected_example`'s
+    shape.
+    """
+    if left < 2 or right < 2:
+        raise DigraphError("each coalition cycle needs at least two vertices")
+    if not 1 <= bridges <= left * right:
+        raise DigraphError("bridges must be within [1, left*right]")
+    xs = [f"X{i:02d}" for i in range(left)]
+    ys = [f"Y{i:02d}" for i in range(right)]
+    arcs: list[Arc] = [(xs[i], xs[(i + 1) % left]) for i in range(left)]
+    arcs += [(ys[i], ys[(i + 1) % right]) for i in range(right)]
+    crossings = [(x, y) for x in xs for y in ys]
+    arcs += crossings[:bridges]
+    return Digraph(xs + ys, arcs)

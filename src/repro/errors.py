@@ -148,6 +148,40 @@ class ScenarioError(EngineError):
 
 
 # ---------------------------------------------------------------------------
+# Workload lab (repro.lab)
+# ---------------------------------------------------------------------------
+
+
+class LabError(ReproError):
+    """Base class for failures in the :mod:`repro.lab` subsystem."""
+
+
+class StoreError(LabError):
+    """A run-store lookup or write could not be honoured (missing key,
+    failure record where a report was expected, unusable path)."""
+
+
+class UnknownWorkloadError(LabError):
+    """No topology family, adversary mix, or preset is registered under
+    the requested name.
+
+    The message lists the registered names so typos are self-diagnosing.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        registered: tuple[str, ...] | list[str] = (),
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.registered = tuple(registered)
+        known = ", ".join(sorted(self.registered)) or "<none>"
+        super().__init__(f"unknown {kind} {name!r}; registered: {known}")
+
+
+# ---------------------------------------------------------------------------
 # Simulation substrate
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,76 @@
+"""repro.lab: workload generation + a persistent, resumable run store.
+
+The lab turns the :mod:`repro.api` pipeline into an experiment factory:
+
+* **Workloads** — named, seeded topology families crossed with
+  adversary mixes expand into deterministic scenario grids
+  (:mod:`repro.lab.workloads`, :mod:`repro.lab.registry`);
+* **Store** — every run is content-addressed by
+  :func:`repro.api.sweep.run_key` and persisted to JSONL or SQLite
+  (:mod:`repro.lab.store`), so ``run_sweep(..., store=...)`` skips
+  everything it has already computed and interrupted sweeps resume.
+
+Quickstart::
+
+    from repro.api import run_sweep
+    from repro.lab import Workload, build_sweep, open_store
+
+    sweep = build_sweep(Workload("cycle", {"n": [3, 5, 8]},
+                                 mixes=("all-conforming", "phase-crash")))
+    with open_store("runs.sqlite") as store:
+        report = run_sweep(sweep, store=store)   # cold: executes all
+        again = run_sweep(sweep, store=store)    # warm: executes zero
+        assert again.executed == 0
+
+The same flows are scriptable via ``python -m repro lab run|ls|show|diff``.
+"""
+
+from repro.lab.registry import (
+    get_family,
+    get_mix,
+    get_preset,
+    list_families,
+    list_mixes,
+    list_presets,
+    register_family,
+    register_mix,
+    register_preset,
+)
+from repro.lab.store import (
+    JsonlStore,
+    MemoryStore,
+    RunStore,
+    SqliteStore,
+    open_store,
+)
+from repro.lab.workloads import (
+    AdversaryMix,
+    TopologyFamily,
+    Workload,
+    build_sweep,
+    expand_grid,
+    impossibility_evidence,
+)
+
+__all__ = [
+    "AdversaryMix",
+    "TopologyFamily",
+    "Workload",
+    "build_sweep",
+    "expand_grid",
+    "impossibility_evidence",
+    "get_family",
+    "get_mix",
+    "get_preset",
+    "list_families",
+    "list_mixes",
+    "list_presets",
+    "register_family",
+    "register_mix",
+    "register_preset",
+    "JsonlStore",
+    "MemoryStore",
+    "RunStore",
+    "SqliteStore",
+    "open_store",
+]

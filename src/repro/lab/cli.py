@@ -1,0 +1,366 @@
+"""The ``python -m repro lab`` command line.
+
+Subcommands::
+
+    lab run       expand a workload (preset or --family) and execute it
+                  through the content-addressed store; warm re-runs
+                  execute zero engines
+    lab ls        list stored runs (key, engine, scenario, verdict)
+    lab show      print one stored run by key prefix (--json for raw)
+    lab diff      field-by-field comparison of two stored runs
+    lab families  the registered topology families and their params
+    lab mixes     the registered adversary mixes
+    lab presets   the bundled workload presets
+
+Examples::
+
+    python -m repro lab run --preset smoke
+    python -m repro lab run --family erdos-renyi --grid n=6,8 p=0.2 \\
+        --mix all-conforming --mix phase-crash --engine herlihy
+    python -m repro lab ls
+    python -m repro lab show 3f2a
+    python -m repro lab diff 3f2a 9c41
+
+The store defaults to ``.lab/runs.sqlite`` under the current directory;
+``--store`` accepts any ``*.sqlite``/``*.jsonl`` path or ``:memory:``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Sequence
+
+from repro.api.report import RunReport
+from repro.api.sweep import run_sweep
+from repro.errors import LabError, ReproError
+from repro.lab.registry import (
+    get_family,
+    get_mix,
+    get_preset,
+    list_families,
+    list_mixes,
+    list_presets,
+)
+from repro.lab.store import RunStore, _entry_identity, open_store
+from repro.lab.workloads import Workload, build_sweep
+
+DEFAULT_STORE = ".lab/runs.sqlite"
+
+
+def _parse_grid(pairs: Sequence[str]) -> dict[str, Any]:
+    """``["n=3,5", "p=0.2"]`` → ``{"n": [3, 5], "p": 0.2}``."""
+    grid: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise LabError(f"--grid expects key=value, got {pair!r}")
+        values = [_parse_atom(v) for v in raw.split(",") if v != ""]
+        if not values:
+            raise LabError(f"--grid {key} has no values")
+        grid[key] = values if len(values) > 1 else values[0]
+    return grid
+
+
+def _parse_atom(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _format_rows(headers: list[str], rows: list[list[object]]) -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    return "\n".join(lines)
+
+
+def _resolve_key(store: RunStore, prefix: str) -> str:
+    matches = store.find(prefix)
+    if not matches:
+        raise LabError(f"no stored run matches key prefix {prefix!r}")
+    if len(matches) > 1:
+        shown = ", ".join(k[:12] for k in matches[:8])
+        raise LabError(
+            f"key prefix {prefix!r} is ambiguous ({len(matches)} matches: "
+            f"{shown}{', ...' if len(matches) > 8 else ''})"
+        )
+    return matches[0]
+
+
+def _entry_row(key: str, entry: dict) -> list[object]:
+    engine, name = _entry_identity(entry)
+    if entry.get("ok"):
+        report = RunReport.from_dict(entry["report"])
+        verdict = "all-Deal" if report.all_deal() else (
+            "safe" if report.conforming_acceptable() else "UNSAFE"
+        )
+        completion = report.completion_time
+    else:
+        verdict = f"error:{entry.get('error_type')}"
+        completion = "-"
+    return [key[:12], engine, name or "-", verdict, completion]
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.preset:
+        workloads = list(get_preset(args.preset))
+        title = f"preset:{args.preset}"
+    elif args.family:
+        workloads = [
+            Workload(
+                args.family,
+                _parse_grid(args.grid),
+                mixes=tuple(args.mix) if args.mix else ("all-conforming",),
+                engines=tuple(args.engine) if args.engine else ("herlihy",),
+            )
+        ]
+        title = f"family:{args.family}"
+    else:
+        raise LabError("lab run needs --preset or --family")
+    # --seed replaces every workload's seed; unset keeps their defaults.
+    sweep = build_sweep(workloads, name=title, base_seed=args.seed)
+    if args.no_store:
+        report = run_sweep(
+            sweep, parallel=not args.serial, max_workers=args.workers
+        )
+        print(report.summary())
+        print(f"store: disabled (--no-store) — executed {report.executed}")
+        return 0
+    with open_store(args.store) as store:
+        report = run_sweep(
+            sweep,
+            parallel=not args.serial,
+            max_workers=args.workers,
+            store=store,
+        )
+        total = len(store)
+    print(report.summary())
+    print(
+        f"store: {args.store} — executed {report.executed}, "
+        f"cached {report.cached}, {total} run(s) stored"
+    )
+    return 0
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    with open_store(args.store) as store:
+        # Filter and slice on the cheap index first; only the rows that
+        # survive get their report blob parsed for the verdict column.
+        selected = [
+            key
+            for key, engine, _name, _ok in store.index()
+            if args.engine is None or engine == args.engine
+        ]
+        if args.limit:
+            selected = selected[-args.limit:]
+        rows = [_entry_row(key, store.get(key)) for key in selected]
+    if not rows:
+        print(f"store {args.store}: empty")
+        return 0
+    print(_format_rows(["key", "engine", "scenario", "verdict", "t"], rows))
+    print(f"{len(rows)} run(s) shown")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    with open_store(args.store) as store:
+        key = _resolve_key(store, args.key)
+        entry = store.get(key)
+    if args.json:
+        print(json.dumps({"key": key, "entry": entry}, indent=2, sort_keys=True))
+        return 0
+    print(f"key: {key}")
+    if not entry.get("ok"):
+        print(
+            f"FAILED {entry.get('engine')}: "
+            f"{entry.get('error_type')}: {entry.get('message')}"
+        )
+        return 0
+    report = RunReport.from_dict(entry["report"])
+    print(report.summary())
+    print(
+        f"all-Deal: {report.all_deal()}  Thm4.9-safe: "
+        f"{report.conforming_acceptable()}  events: {report.events_fired}  "
+        f"stored bytes: {report.stored_bytes}"
+    )
+    return 0
+
+
+_DIFF_FIELDS = (
+    "engine",
+    "completion_time",
+    "phase_two_bound",
+    "events_fired",
+    "stored_bytes",
+    "contract_storage_bytes",
+    "published_bytes",
+    "unlock_calls",
+)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    with open_store(args.store) as store:
+        entries = [
+            (key, store.get(key))
+            for key in (_resolve_key(store, args.a), _resolve_key(store, args.b))
+        ]
+    rows: list[list[object]] = []
+    sides: list[dict[str, object]] = []
+    for key, entry in entries:
+        if entry.get("ok"):
+            report = RunReport.from_dict(entry["report"])
+            side: dict[str, object] = {
+                field: getattr(report, field) for field in _DIFF_FIELDS
+            }
+            side["scenario"] = report.scenario.label()
+            side["all_deal"] = report.all_deal()
+            side["thm49_safe"] = report.conforming_acceptable()
+            side["outcomes"] = {
+                v: o.value for v, o in sorted(report.outcomes.items())
+            }
+        else:
+            side = {
+                "engine": entry.get("engine"),
+                "scenario": entry.get("scenario", {}).get("name", "-"),
+                "error": f"{entry.get('error_type')}: {entry.get('message')}",
+            }
+        sides.append(side)
+    left, right = sides
+    differing = 0
+    for field in sorted(set(left) | set(right)):
+        a, b = left.get(field, "-"), right.get(field, "-")
+        if a != b:
+            differing += 1
+        rows.append([field, a, b, "" if a == b else "<-- differs"])
+    print(_format_rows(
+        ["field", entries[0][0][:12], entries[1][0][:12], ""], rows
+    ))
+    print(f"{differing} field(s) differ")
+    return 0
+
+
+def _cmd_families(args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_families():
+        family = get_family(name)
+        sc = "yes" if family.strongly_connected else "NO (impossibility)"
+        rows.append([name, dict(family.defaults), sc, family.description])
+    print(_format_rows(["family", "params", "strongly connected", "description"], rows))
+    return 0
+
+
+def _cmd_mixes(args: argparse.Namespace) -> int:
+    rows = [[name, get_mix(name).description] for name in list_mixes()]
+    print(_format_rows(["mix", "description"], rows))
+    return 0
+
+
+def _cmd_presets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_presets():
+        workloads = get_preset(name)
+        families = ", ".join(dict.fromkeys(w.family for w in workloads))
+        runs = len(build_sweep(list(workloads), name=name))
+        rows.append([name, len(workloads), families, runs])
+    print(_format_rows(["preset", "workloads", "families", "runs"], rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# wiring
+# ---------------------------------------------------------------------------
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"run-store path (*.sqlite, *.jsonl, :memory:); default {DEFAULT_STORE}",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lab",
+        description="workload generation + content-addressed run store",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="expand and execute a workload")
+    target = run.add_mutually_exclusive_group()
+    target.add_argument("--preset", help="a registered preset (see `lab presets`)")
+    target.add_argument("--family", help="a topology family (see `lab families`)")
+    run.add_argument(
+        "--grid", nargs="*", default=[], metavar="K=V[,V...]",
+        help="family params; comma-separated values are swept",
+    )
+    run.add_argument("--mix", action="append", help="adversary mix (repeatable)")
+    run.add_argument("--engine", action="append", help="engine (repeatable)")
+    run.add_argument(
+        "--seed", type=int, default=None,
+        help="replace every workload's seed (re-rolls topologies and mixes)",
+    )
+    run.add_argument("--serial", action="store_true", help="skip the process pool")
+    run.add_argument("--workers", type=int, default=None)
+    run.add_argument(
+        "--no-store", action="store_true",
+        help="execute without reading or writing the store",
+    )
+    _add_store_arg(run)
+    run.set_defaults(func=_cmd_run)
+
+    ls = sub.add_parser("ls", help="list stored runs")
+    ls.add_argument("--engine", help="only runs of this engine")
+    ls.add_argument("--limit", type=int, default=0, help="show only the last N")
+    _add_store_arg(ls)
+    ls.set_defaults(func=_cmd_ls)
+
+    show = sub.add_parser("show", help="print one stored run")
+    show.add_argument("key", help="key prefix (hex)")
+    show.add_argument("--json", action="store_true", help="raw stored entry")
+    _add_store_arg(show)
+    show.set_defaults(func=_cmd_show)
+
+    diff = sub.add_parser("diff", help="compare two stored runs")
+    diff.add_argument("a", help="first key prefix")
+    diff.add_argument("b", help="second key prefix")
+    _add_store_arg(diff)
+    diff.set_defaults(func=_cmd_diff)
+
+    sub.add_parser("families", help="list topology families").set_defaults(
+        func=_cmd_families
+    )
+    sub.add_parser("mixes", help="list adversary mixes").set_defaults(
+        func=_cmd_mixes
+    )
+    sub.add_parser("presets", help="list workload presets").set_defaults(
+        func=_cmd_presets
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

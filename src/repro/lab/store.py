@@ -1,0 +1,286 @@
+"""Persistent, content-addressed storage for protocol runs.
+
+Every run is addressed by :func:`repro.api.sweep.run_key` — a SHA-256
+digest of the engine name plus the scenario's canonical content — and
+stores exactly the worker-side entry dict ``run_sweep`` produces:
+``{"ok": True, "report": RunReport.to_dict()}`` for successes,
+``{"ok": False, ...}`` for scenarios the engine could not express.
+Storing failures too means a warm re-run skips *everything* it already
+learned, including which scenarios are infeasible.
+
+Three backends share the :class:`RunStore` contract:
+
+* :class:`MemoryStore` — a dict; per-process caching and tests;
+* :class:`JsonlStore` — append-only JSON lines; crash-tolerant (a torn
+  final line from an interrupted run is ignored on reload), diffable,
+  and trivially merge-able with ``cat``;
+* :class:`SqliteStore` — an indexed ``sqlite3`` table; the default for
+  the ``python -m repro lab`` CLI, scales to large sweeps.
+
+:func:`open_store` picks a backend from the path suffix.  Stores plug
+straight into :func:`repro.api.run_sweep` via its ``store=`` parameter.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro.api.report import RunReport
+from repro.errors import StoreError
+
+
+class RunStore:
+    """The storage contract ``run_sweep(store=...)`` relies on.
+
+    ``get`` returns the stored entry dict for a key (or ``None``),
+    ``put`` persists one durably before returning.  Everything else is
+    convenience built on those two.
+    """
+
+    def get(self, key: str) -> dict | None:
+        raise NotImplementedError
+
+    def put(self, key: str, entry: dict) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def entries(self) -> Iterator[tuple[str, dict]]:
+        for key in self.keys():
+            entry = self.get(key)
+            if entry is not None:
+                yield key, entry
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- lookups -------------------------------------------------------------
+
+    def find(self, key_prefix: str) -> list[str]:
+        """All stored keys starting with ``key_prefix`` (hex)."""
+        return [k for k in self.keys() if k.startswith(key_prefix)]
+
+    def index(self) -> list[tuple[str, str, str, bool]]:
+        """One ``(key, engine, scenario_name, ok)`` row per stored run.
+
+        Cheap by contract — no :class:`RunReport` deserialization — so
+        listings can filter and slice before touching any report blob;
+        :class:`SqliteStore` serves it straight from its denormalised
+        columns.
+        """
+        return [
+            (key, *_entry_identity(entry), bool(entry.get("ok")))
+            for key, entry in self.entries()
+        ]
+
+    def report(self, key: str) -> RunReport:
+        """The stored :class:`RunReport` for ``key``.
+
+        Raises :class:`StoreError` if the key is absent or holds a
+        failure record rather than a successful run.
+        """
+        entry = self.get(key)
+        if entry is None:
+            raise StoreError(f"no run stored under key {key!r}")
+        if not entry.get("ok"):
+            raise StoreError(
+                f"run {key[:12]} is a recorded failure: "
+                f"{entry.get('error_type')}: {entry.get('message')}"
+            )
+        return RunReport.from_dict(entry["report"])
+
+    def reports(self) -> list[RunReport]:
+        """Every successfully stored run, in storage order."""
+        return [
+            RunReport.from_dict(entry["report"])
+            for _, entry in self.entries()
+            if entry.get("ok")
+        ]
+
+
+class MemoryStore(RunStore):
+    """An in-process store; nothing survives the interpreter."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict] = {}
+
+    def get(self, key: str) -> dict | None:
+        return self._entries.get(key)
+
+    def put(self, key: str, entry: dict) -> None:
+        self._entries[key] = dict(entry)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+
+class JsonlStore(RunStore):
+    """Append-only JSON-lines persistence.
+
+    Each ``put`` appends one ``{"key", "recorded_at", "entry"}`` line
+    and flushes, so a killed sweep loses at most the line being written.
+    On open, undecodable lines (the torn tail of an interrupted write)
+    are skipped; later lines for a key shadow earlier ones, making
+    re-recording an overwrite without any rewriting of history.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, dict] = {}
+        torn_tail = False
+        if self.path.exists():
+            with self.path.open("rb") as raw:
+                content = raw.read()
+            torn_tail = bool(content) and not content.endswith(b"\n")
+            for line in content.decode("utf-8", errors="replace").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    self._entries[record["key"]] = record["entry"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # torn write from an interrupted run
+        self._handle = self.path.open("a", encoding="utf-8")
+        if torn_tail:
+            # Seal the torn line so the next append starts fresh.
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def get(self, key: str) -> dict | None:
+        return self._entries.get(key)
+
+    def put(self, key: str, entry: dict) -> None:
+        record = {"key": key, "recorded_at": time.time(), "entry": entry}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._entries[key] = dict(entry)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class SqliteStore(RunStore):
+    """One ``runs`` table in a ``sqlite3`` database.
+
+    Keys are primary; ``put`` is an upsert committed immediately, so
+    interrupted sweeps keep every completed run.  The ``engine`` and
+    ``scenario_name`` columns are denormalised out of the entry to keep
+    ``lab ls`` queries from parsing every report blob.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS runs (
+            key           TEXT PRIMARY KEY,
+            engine        TEXT NOT NULL,
+            scenario_name TEXT NOT NULL,
+            ok            INTEGER NOT NULL,
+            recorded_at   REAL NOT NULL,
+            entry         TEXT NOT NULL
+        )
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(str(self.path))
+        self._db.execute(self._SCHEMA)
+        self._db.commit()
+
+    def get(self, key: str) -> dict | None:
+        row = self._db.execute(
+            "SELECT entry FROM runs WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def put(self, key: str, entry: dict) -> None:
+        engine, name = _entry_identity(entry)
+        self._db.execute(
+            "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                engine,
+                name,
+                1 if entry.get("ok") else 0,
+                time.time(),
+                json.dumps(entry, sort_keys=True),
+            ),
+        )
+        self._db.commit()
+
+    def keys(self) -> tuple[str, ...]:
+        rows = self._db.execute(
+            "SELECT key FROM runs ORDER BY recorded_at, key"
+        ).fetchall()
+        return tuple(row[0] for row in rows)
+
+    def find(self, key_prefix: str) -> list[str]:
+        rows = self._db.execute(
+            "SELECT key FROM runs WHERE key GLOB ? ORDER BY key",
+            (key_prefix + "*",),
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def index(self) -> list[tuple[str, str, str, bool]]:
+        rows = self._db.execute(
+            "SELECT key, engine, scenario_name, ok FROM runs "
+            "ORDER BY recorded_at, key"
+        ).fetchall()
+        return [(key, engine, name, bool(ok)) for key, engine, name, ok in rows]
+
+    def __len__(self) -> int:
+        return self._db.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def close(self) -> None:
+        self._db.close()
+
+
+def _entry_identity(entry: dict) -> tuple[str, str]:
+    """(engine, scenario name) of a stored entry, success or failure."""
+    if entry.get("ok"):
+        report = entry.get("report", {})
+        return (
+            report.get("engine", "?"),
+            report.get("scenario", {}).get("name", ""),
+        )
+    return entry.get("engine", "?"), entry.get("scenario", {}).get("name", "")
+
+
+#: Path suffixes routed to :class:`JsonlStore`.
+_JSONL_SUFFIXES = (".jsonl", ".ndjson")
+
+
+def open_store(path: str | Path) -> RunStore:
+    """Open (creating if needed) the store at ``path``.
+
+    ``":memory:"`` gives a :class:`MemoryStore`; ``*.jsonl`` and
+    ``*.ndjson`` give a :class:`JsonlStore`; everything else (``*.sqlite``,
+    ``*.db``, ...) is a :class:`SqliteStore`.
+    """
+    if str(path) == ":memory:":
+        return MemoryStore()
+    path = Path(path)
+    if path.suffix in _JSONL_SUFFIXES:
+        return JsonlStore(path)
+    return SqliteStore(path)

@@ -8,7 +8,23 @@ from repro import errors
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
+
+    def test_setup_py_single_sources_version(self):
+        """setup.py must read the version out of repro.__init__, never
+        carry its own copy."""
+        import re
+        from pathlib import Path
+
+        setup_py = Path(repro.__file__).resolve().parents[2] / "setup.py"
+        text = setup_py.read_text(encoding="utf-8")
+        assert "__init__.py" in text and "version=VERSION" in text
+        found = re.search(
+            r'^__version__ = "([^"]+)"',
+            (Path(repro.__file__).parent / "__init__.py").read_text(),
+            re.MULTILINE,
+        ).group(1)
+        assert found == repro.__version__
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:

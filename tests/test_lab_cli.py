@@ -1,0 +1,163 @@
+"""The ``python -m repro lab`` CLI, driven through ``repro.__main__``.
+
+Round-trips the acceptance flow: ``lab run`` populates a store, a second
+``lab run`` is fully cached, ``lab ls``/``show``/``diff`` read it back,
+and the discovery subcommands enumerate the registry.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.__main__ import main
+from repro.lab.store import open_store
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "runs.sqlite")
+
+
+def _run(args):
+    return main(["lab", *args])
+
+
+class TestRun:
+    def test_run_family_then_warm_rerun(self, store_path, capsys):
+        args = [
+            "run", "--family", "cycle", "--grid", "n=3,4",
+            "--mix", "all-conforming", "--mix", "last-moment",
+            "--serial", "--store", store_path,
+        ]
+        assert _run(args) == 0
+        cold = capsys.readouterr().out
+        assert "executed 4, cached 0" in cold
+        assert "4 run(s) stored" in cold
+
+        assert _run(args) == 0
+        warm = capsys.readouterr().out
+        assert "executed 0, cached 4" in warm
+        assert "cached" in warm
+
+    def test_run_preset(self, store_path, capsys):
+        assert _run(["run", "--preset", "smoke", "--serial",
+                     "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "all-Deal" in out or "runs=" in out
+        with open_store(store_path) as store:
+            assert len(store) == 12  # 2 sizes x 6 engines
+
+    def test_run_requires_target(self, store_path, capsys):
+        assert _run(["run", "--store", store_path]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_preset_and_family_are_mutually_exclusive(self, store_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["run", "--preset", "smoke", "--family", "cycle",
+                  "--store", store_path])
+        assert exc.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_seed_rerolls_a_preset(self, store_path, capsys):
+        base = ["run", "--preset", "impossibility", "--serial",
+                "--store", store_path]
+        assert _run(base) == 0
+        capsys.readouterr()
+        # same preset again: cached; with a fresh seed: re-rolled, not cached
+        assert _run(base) == 0
+        assert "executed 0" in capsys.readouterr().out
+        assert _run([*base, "--seed", "999"]) == 0
+        out = capsys.readouterr().out
+        assert "cached 0" in out
+
+    def test_unknown_family_is_reported(self, store_path, capsys):
+        assert _run(["run", "--family", "nope", "--store", store_path]) == 1
+        out = capsys.readouterr().out
+        assert "unknown topology family" in out
+
+    def test_no_store_never_touches_the_store_path(self, tmp_path, capsys):
+        path = tmp_path / "sub" / "runs.sqlite"
+        assert _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+                     "--no-store", "--store", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "disabled (--no-store)" in out
+        assert not path.exists() and not path.parent.exists()
+
+    def test_jsonl_store_works_too(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        assert _run(["run", "--family", "cycle", "--grid", "n=3",
+                     "--serial", "--store", path]) == 0
+        assert _run(["run", "--family", "cycle", "--grid", "n=3",
+                     "--serial", "--store", path]) == 0
+        assert "executed 0, cached 1" in capsys.readouterr().out
+
+
+class TestInspection:
+    @pytest.fixture
+    def populated(self, store_path, capsys):
+        _run(["run", "--family", "cycle", "--grid", "n=3",
+              "--mix", "all-conforming", "--mix", "phase-crash",
+              "--serial", "--store", store_path])
+        capsys.readouterr()
+        with open_store(store_path) as store:
+            keys = store.keys()
+        return store_path, keys
+
+    def test_ls(self, populated, capsys):
+        store_path, keys = populated
+        assert _run(["ls", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s) shown" in out
+        for key in keys:
+            assert key[:12] in out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert _run(["ls", "--store", str(tmp_path / "empty.sqlite")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_show_by_prefix(self, populated, capsys):
+        store_path, keys = populated
+        assert _run(["show", keys[0][:10], "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert f"key: {keys[0]}" in out
+        assert "outcomes:" in out
+
+    def test_show_json(self, populated, capsys):
+        store_path, keys = populated
+        assert _run(["show", keys[0][:10], "--json", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert '"ok": true' in out
+
+    def test_show_missing_prefix(self, populated, capsys):
+        store_path, _ = populated
+        assert _run(["show", "ffffffffffff", "--store", store_path]) == 1
+        assert "no stored run" in capsys.readouterr().out
+
+    def test_diff(self, populated, capsys):
+        store_path, keys = populated
+        assert _run(["diff", keys[0][:12], keys[1][:12],
+                     "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out
+        assert re.search(r"\d+ field\(s\) differ", out)
+
+
+class TestDiscovery:
+    def test_families_listing_includes_impossibility(self, capsys):
+        assert _run(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "two-coalition" in out and "NO (impossibility)" in out
+
+    def test_mixes_listing(self, capsys):
+        assert _run(["mixes"]) == 0
+        out = capsys.readouterr().out
+        for mix in ("all-conforming", "phase-crash", "last-moment", "free-ride"):
+            assert mix in out
+
+    def test_presets_listing(self, capsys):
+        assert _run(["presets"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("smoke", "topologies", "impossibility"):
+            assert preset in out

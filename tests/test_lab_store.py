@@ -1,0 +1,234 @@
+"""repro.lab.store: round-trips, resume semantics, warm-cache sweeps.
+
+The load-bearing guarantees:
+
+* every backend round-trips entries and survives reopen (where it
+  persists at all);
+* ``run_sweep(store=...)`` serves warm scenarios without executing a
+  single engine (asserted by making execution impossible);
+* interrupted sweeps resume — only the missing scenarios run;
+* content addressing ignores display names and topology declaration
+  order, but distinguishes every field that changes the run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api.sweep as sweep_mod
+from repro.api import Scenario, Sweep, run_key, run_sweep
+from repro.digraph.digraph import Digraph
+from repro.digraph.generators import cycle_digraph, triangle, two_leader_triangle
+from repro.errors import StoreError
+from repro.lab.store import JsonlStore, MemoryStore, SqliteStore, open_store
+
+ENTRY = {"ok": False, "engine": "x", "scenario": {"name": "s"},
+         "error_type": "E", "message": "m"}
+
+
+def _make_stores(tmp_path):
+    return [
+        MemoryStore(),
+        JsonlStore(tmp_path / "runs.jsonl"),
+        SqliteStore(tmp_path / "runs.sqlite"),
+    ]
+
+
+class TestBackends:
+    def test_round_trip_all_backends(self, tmp_path):
+        for store in _make_stores(tmp_path):
+            assert store.get("k") is None
+            assert "k" not in store
+            store.put("k", ENTRY)
+            assert store.get("k") == ENTRY
+            assert "k" in store
+            assert len(store) == 1
+            assert store.keys() == ("k",)
+            store.close()
+
+    @pytest.mark.parametrize("filename", ["runs.jsonl", "runs.sqlite"])
+    def test_persistence_across_reopen(self, tmp_path, filename):
+        path = tmp_path / filename
+        with open_store(path) as store:
+            store.put("aa11", ENTRY)
+            store.put("ab22", {"ok": True, "report": {"engine": "e",
+                                                      "scenario": {"name": "n"}}})
+        with open_store(path) as store:
+            assert len(store) == 2
+            assert store.get("aa11") == ENTRY
+            assert store.find("aa") == ["aa11"]
+            assert sorted(store.find("a")) == ["aa11", "ab22"]
+
+    def test_put_overwrites(self, tmp_path):
+        for store in _make_stores(tmp_path):
+            store.put("k", ENTRY)
+            store.put("k", {"ok": True, "report": {}})
+            assert store.get("k")["ok"] is True
+            assert len(store) == 1
+            store.close()
+
+    def test_jsonl_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with JsonlStore(path) as store:
+            store.put("good", ENTRY)
+        with path.open("a") as handle:
+            handle.write('{"key": "torn", "entry": {"ok"')  # killed mid-write
+        with JsonlStore(path) as store:
+            assert store.keys() == ("good",)
+            store.put("after", ENTRY)  # appending again still works
+        with JsonlStore(path) as store:
+            assert sorted(store.keys()) == ["after", "good"]
+
+    def test_open_store_dispatch(self, tmp_path):
+        assert isinstance(open_store(":memory:"), MemoryStore)
+        assert isinstance(open_store(tmp_path / "a.jsonl"), JsonlStore)
+        assert isinstance(open_store(tmp_path / "a.ndjson"), JsonlStore)
+        assert isinstance(open_store(tmp_path / "a.sqlite"), SqliteStore)
+        assert isinstance(open_store(tmp_path / "a.db"), SqliteStore)
+
+    def test_index_matches_entries_without_parsing_reports(self, tmp_path):
+        ok_entry = {
+            "ok": True,
+            "report": {"engine": "herlihy", "scenario": {"name": "n1"}},
+        }
+        for store in _make_stores(tmp_path):
+            store.put("k1", ok_entry)
+            store.put("k2", ENTRY)
+            assert sorted(store.index()) == [
+                ("k1", "herlihy", "n1", True),
+                ("k2", "x", "s", False),
+            ]
+            store.close()
+
+    def test_report_accessor(self, tmp_path):
+        store = MemoryStore()
+        with pytest.raises(StoreError):
+            store.report("missing")
+        store.put("f", ENTRY)
+        with pytest.raises(StoreError):
+            store.report("f")  # failure record, not a report
+
+
+def _sweep() -> Sweep:
+    return Sweep("t").add_product(
+        ["herlihy", "single-leader"],
+        [("tri", triangle()), ("c4", cycle_digraph(4))],
+    )
+
+
+class TestSweepStoreIntegration:
+    def test_cold_run_populates_store(self, tmp_path):
+        store = MemoryStore()
+        report = run_sweep(_sweep(), parallel=False, store=store)
+        assert report.executed == 4 and report.cached == 0
+        assert len(store) == 4
+        for engine, scenario in _sweep().items():
+            assert run_key(engine, scenario) in store
+
+    def test_warm_run_executes_zero_engines(self, tmp_path, monkeypatch):
+        store = JsonlStore(tmp_path / "runs.jsonl")
+        cold = run_sweep(_sweep(), parallel=False, store=store)
+
+        def explode(payload):
+            raise AssertionError("an engine executed on a warm store")
+
+        monkeypatch.setattr(sweep_mod, "_run_payload", explode)
+        warm = run_sweep(_sweep(), parallel=False, store=store)
+        assert warm.mode == "cached"
+        assert warm.executed == 0 and warm.cached == 4
+        assert [r.to_dict() for r in warm.reports] == [
+            r.to_dict() for r in cold.reports
+        ]
+
+    def test_interrupted_sweep_resumes_incrementally(self, tmp_path, monkeypatch):
+        store = SqliteStore(tmp_path / "runs.sqlite")
+        items = _sweep().items()
+        run_sweep(items[:2], parallel=False, store=store)  # "interrupted" half
+
+        executed = []
+        real = sweep_mod._run_payload
+
+        def counting(payload):
+            executed.append(payload[0])
+            return real(payload)
+
+        monkeypatch.setattr(sweep_mod, "_run_payload", counting)
+        resumed = run_sweep(items, parallel=False, store=store)
+        assert len(executed) == 2  # only the missing half ran
+        assert resumed.executed == 2 and resumed.cached == 2
+        assert len(resumed.reports) == 4
+
+    def test_failures_are_cached_too(self, monkeypatch):
+        store = MemoryStore()
+        # single-leader on K3: no single-vertex FVS -> recorded failure.
+        items = [("single-leader", Scenario(topology=two_leader_triangle()))]
+        cold = run_sweep(items, parallel=False, store=store)
+        assert len(cold.failures) == 1 and len(store) == 1
+
+        monkeypatch.setattr(
+            sweep_mod, "_run_payload",
+            lambda payload: (_ for _ in ()).throw(AssertionError("executed")),
+        )
+        warm = run_sweep(items, parallel=False, store=store)
+        assert warm.mode == "cached" and warm.executed == 0
+        assert len(warm.failures) == 1
+        assert warm.failures[0].error_type == cold.failures[0].error_type
+
+    def test_no_store_keeps_legacy_behaviour(self):
+        report = run_sweep(_sweep(), parallel=False)
+        assert report.cached == 0 and report.executed == 4
+        assert report.mode == "serial"
+
+
+class TestContentAddressing:
+    def test_name_does_not_change_key(self):
+        a = Scenario(topology=triangle(), name="alpha")
+        b = Scenario(topology=triangle(), name="beta")
+        assert a.content_hash() == b.content_hash()
+        assert run_key("herlihy", a) == run_key("herlihy", b)
+
+    def test_topology_order_does_not_change_key(self):
+        forward = Digraph(["A", "B", "C"], [("A", "B"), ("B", "C"), ("C", "A")])
+        shuffled = Digraph(["C", "A", "B"], [("C", "A"), ("A", "B"), ("B", "C")])
+        assert forward == shuffled
+        assert (
+            Scenario(topology=forward).content_hash()
+            == Scenario(topology=shuffled).content_hash()
+        )
+
+    def test_engine_and_fields_change_key(self):
+        scenario = Scenario(topology=triangle())
+        assert run_key("herlihy", scenario) != run_key("multiswap", scenario)
+        assert (
+            scenario.content_hash()
+            != scenario.with_(seed=scenario.seed + 1).content_hash()
+        )
+        assert (
+            scenario.content_hash()
+            != scenario.with_(delta=scenario.delta + 1).content_hash()
+        )
+        assert (
+            scenario.content_hash()
+            != scenario.with_(
+                strategies={"Carol": "last-moment-unlock"}
+            ).content_hash()
+        )
+
+    def test_key_is_stable_json(self):
+        scenario = Scenario(topology=triangle(), params={"b": 1, "a": 2})
+        reordered = Scenario(topology=triangle(), params={"a": 2, "b": 1})
+        assert scenario.content_hash() == reordered.content_hash()
+        # and the key is a 64-hex sha256 digest
+        key = run_key("herlihy", scenario)
+        assert len(key) == 64 and int(key, 16) >= 0
+
+    def test_round_tripped_scenario_keeps_key(self):
+        scenario = Scenario(
+            topology=cycle_digraph(4),
+            strategies={"P00": "withhold-secret"},
+            params={"x": [1, 2]},
+        )
+        clone = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert clone.content_hash() == scenario.content_hash()
