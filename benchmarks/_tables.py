@@ -3,7 +3,9 @@
 Every bench regenerates one of the paper's figures/claims as a plain-text
 table.  Tables are printed (visible with ``pytest -s``) and also written to
 ``benchmarks/results/<exp_id>.txt`` so EXPERIMENTS.md can reference stable
-artifacts.  Formatting is deliberately dependency-free.
+artifacts.  Formatting comes from the shared :mod:`repro.lab.analytics`
+emitter (``src`` must be importable), so benches, the lab CLI, and
+ad-hoc scripts all render the same table shape.
 
 Benches additionally record their runs through the :mod:`repro.lab`
 content-addressed store (``benchmarks/results/bench_runs.jsonl``) and
@@ -23,19 +25,10 @@ BENCH_STORE_PATH = RESULTS_DIR / "bench_runs.jsonl"
 
 
 def format_table(title: str, headers: list[str], rows: list[list[object]]) -> str:
-    """Render an aligned ASCII table."""
-    cells = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in cells:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    sep = "-+-".join("-" * w for w in widths)
-    lines = [title, "=" * len(title)]
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    lines.append(sep)
-    for row in cells:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
+    """Render an aligned ASCII table (the shared repro.lab emitter)."""
+    from repro.lab.analytics import format_table as _format_table
+
+    return _format_table(title, headers, rows)
 
 
 def emit_table(

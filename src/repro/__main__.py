@@ -6,10 +6,11 @@
   protocol engine through :func:`repro.api.run_sweep` (the same runs
   ``pytest -m smoke`` asserts on); exits non-zero if any engine fails
   to carry the all-conforming triangle to all-Deal;
-* ``python -m repro lab run|ls|show|diff|families|mixes|presets`` —
-  the :mod:`repro.lab` workload lab: expand seeded topology × adversary
+* ``python -m repro lab run|ls|show|diff|stats|merge|families|mixes|presets``
+  — the :mod:`repro.lab` workload lab: expand seeded topology × adversary
   grids, execute them through the content-addressed run store (warm
-  re-runs execute zero engines), and inspect or compare stored runs.
+  re-runs execute zero engines), inspect or compare stored runs,
+  aggregate cross-sweep statistics, and merge sharded stores.
   ``python -m repro lab --help`` lists the options.
 """
 

@@ -19,17 +19,17 @@ and wall time, and byte totals.
 Passing ``store=`` (any object with ``get(key) -> dict | None`` and
 ``put(key, dict)`` — see :mod:`repro.lab.store`) makes sweeps
 *resumable*: scenarios whose :func:`run_key` is already stored are
-served from the store without executing an engine, and every fresh
-result is persisted the moment its worker returns, so an interrupted
-sweep picks up where it left off and a warm re-run executes zero
-engines.
+served from the store without executing an engine, and fresh results
+are persisted (and flushed) as each worker chunk completes — even
+chunks that finish out of sweep order — so an interrupted sweep picks
+up where it left off and a warm re-run executes zero engines.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -185,6 +185,17 @@ def _run_payload(payload: tuple[str, dict]) -> dict:
     return {"ok": True, "report": report.to_dict()}
 
 
+def _run_chunk(payloads: Sequence[tuple[str, dict]]) -> list[dict]:
+    """Worker entry point for one submitted chunk of payloads.
+
+    Chunks are the unit of persistence: the parent records every entry
+    of a chunk the moment its future completes, so a chunk finished out
+    of sweep order survives an interruption even while earlier chunks
+    are still running.
+    """
+    return [_run_payload(payload) for payload in payloads]
+
+
 def run_item(item: SweepItem) -> RunReport:
     """Run one (engine, scenario) pair in-process."""
     engine_name, scenario = item
@@ -335,8 +346,8 @@ def run_sweep(
     with the same ``get``/``put`` contract) the sweep is incremental:
     scenarios whose :func:`run_key` the store already holds are served
     from it (``SweepReport.cached``) and never reach an engine, while
-    fresh results are persisted one by one as workers return them — an
-    interrupted sweep resumes from the last completed scenario, and a
+    fresh results are persisted chunk by chunk as workers complete — an
+    interrupted sweep keeps every chunk recorded before the kill, and a
     fully warm re-run reports ``mode == "cached"`` with zero engine
     executions.
     """
@@ -359,6 +370,14 @@ def run_sweep(
         if store is not None:
             store.put(keys[index], entry)
 
+    def flush_store() -> None:
+        # Backends that batch writes (SqliteStore) make everything
+        # recorded so far crash-durable; the rest no-op.  Guarded by
+        # getattr because store= accepts any get/put duck type.
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()
+
     mode = "cached"
     workers = 0
     if payloads and parallel and len(payloads) > 1:
@@ -375,11 +394,24 @@ def run_sweep(
         except (OSError, PermissionError, RuntimeError):
             mode, workers = "serial-fallback", 1
         if pool is not None:
+            # submit + as_completed, not pool.map: map yields strictly in
+            # submission order, so a result completed out of order would
+            # sit unrecorded (and unpersisted) until every earlier chunk
+            # finished — an interrupted sweep would lose completed work.
+            chunks = [
+                (pending[i : i + chunksize], payloads[i : i + chunksize])
+                for i in range(0, len(payloads), chunksize)
+            ]
             try:
                 with pool:
-                    results = pool.map(_run_payload, payloads, chunksize=chunksize)
-                    for index, entry in zip(pending, results):
-                        record(index, entry)
+                    futures = {
+                        pool.submit(_run_chunk, chunk_payloads): chunk_indices
+                        for chunk_indices, chunk_payloads in chunks
+                    }
+                    for future in as_completed(futures):
+                        for index, entry in zip(futures[future], future.result()):
+                            record(index, entry)
+                        flush_store()  # each chunk is durable on arrival
             except (BrokenProcessPool, OSError, PermissionError):
                 # Sandboxes that refuse fork/spawn at submit time still
                 # get a correct (serial) sweep; anything recorded before
@@ -392,6 +424,7 @@ def run_sweep(
         for index, payload in zip(pending, payloads):
             if entries[index] is None:
                 record(index, _run_payload(payload))
+                flush_store()
 
     return _assemble(
         entries, start, mode, workers,

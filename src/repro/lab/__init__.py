@@ -8,7 +8,11 @@ The lab turns the :mod:`repro.api` pipeline into an experiment factory:
 * **Store** — every run is content-addressed by
   :func:`repro.api.sweep.run_key` and persisted to JSONL or SQLite
   (:mod:`repro.lab.store`), so ``run_sweep(..., store=...)`` skips
-  everything it has already computed and interrupted sweeps resume.
+  everything it has already computed and interrupted sweeps resume;
+  sharded stores combine via :meth:`RunStore.merge_from`;
+* **Analytics** — stored runs aggregate into per-engine × per-family ×
+  per-mix rate tables and engine head-to-heads
+  (:mod:`repro.lab.analytics`; ``python -m repro lab stats``).
 
 Quickstart::
 
@@ -22,9 +26,25 @@ Quickstart::
         again = run_sweep(sweep, store=store)    # warm: executes zero
         assert again.executed == 0
 
-The same flows are scriptable via ``python -m repro lab run|ls|show|diff``.
+The same flows are scriptable via
+``python -m repro lab run|ls|show|diff|stats|merge``.
 """
 
+from repro.lab.analytics import (
+    DIMENSIONS,
+    GroupStats,
+    RunFacts,
+    aggregate,
+    collect_facts,
+    compare,
+    dimensions,
+    entry_facts,
+    format_rows,
+    format_table,
+    parse_lab_name,
+    percentile,
+    stats_payload,
+)
 from repro.lab.registry import (
     get_family,
     get_mix,
@@ -53,6 +73,19 @@ from repro.lab.workloads import (
 )
 
 __all__ = [
+    "DIMENSIONS",
+    "GroupStats",
+    "RunFacts",
+    "aggregate",
+    "collect_facts",
+    "compare",
+    "dimensions",
+    "entry_facts",
+    "format_rows",
+    "format_table",
+    "parse_lab_name",
+    "percentile",
+    "stats_payload",
     "AdversaryMix",
     "TopologyFamily",
     "Workload",

@@ -8,6 +8,9 @@ Subcommands::
     lab ls        list stored runs (key, engine, scenario, verdict)
     lab show      print one stored run by key prefix (--json for raw)
     lab diff      field-by-field comparison of two stored runs
+    lab stats     cross-sweep aggregates (rates, percentiles, failure
+                  taxonomy) grouped by engine/family/mix
+    lab merge     absorb shard stores into one (newest record wins)
     lab families  the registered topology families and their params
     lab mixes     the registered adversary mixes
     lab presets   the bundled workload presets
@@ -20,20 +23,36 @@ Examples::
     python -m repro lab ls
     python -m repro lab show 3f2a
     python -m repro lab diff 3f2a 9c41
+    python -m repro lab stats --by engine,mix
+    python -m repro lab stats --compare herlihy naive-timelock --json
+    python -m repro lab merge all.sqlite shard1.jsonl shard2.sqlite
 
 The store defaults to ``.lab/runs.sqlite`` under the current directory;
 ``--store`` accepts any ``*.sqlite``/``*.jsonl`` path or ``:memory:``.
+Errors go to stderr with exit status 1.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.api.report import RunReport
 from repro.api.sweep import run_sweep
 from repro.errors import LabError, ReproError
+from repro.lab.analytics import (
+    aggregate,
+    check_dimensions,
+    collect_facts,
+    compare,
+    compare_table,
+    format_rows,
+    stats_payload,
+    stats_table,
+)
 from repro.lab.registry import (
     get_family,
     get_mix,
@@ -42,7 +61,7 @@ from repro.lab.registry import (
     list_mixes,
     list_presets,
 )
-from repro.lab.store import RunStore, _entry_identity, open_store
+from repro.lab.store import JsonlStore, RunStore, _entry_identity, open_store
 from repro.lab.workloads import Workload, build_sweep
 
 DEFAULT_STORE = ".lab/runs.sqlite"
@@ -71,16 +90,20 @@ def _parse_atom(text: str) -> Any:
     return text
 
 
-def _format_rows(headers: list[str], rows: list[list[object]]) -> str:
-    cells = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in cells:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
-    lines.append("-+-".join("-" * w for w in widths))
-    lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
-    return "\n".join(lines)
+# One table emitter for the whole repo (CLI, benches, scripts).
+_format_rows = format_rows
+
+
+def _open_existing(path: str) -> RunStore:
+    """Open a store that must already exist.
+
+    Read-only subcommands go through this instead of
+    :func:`open_store`, which would silently create an empty store for
+    a typo'd path — a false "empty" answer plus a junk file on disk.
+    """
+    if str(path) != ":memory:" and not Path(path).exists():
+        raise LabError(f"no such store: {path}")
+    return open_store(path)
 
 
 def _resolve_key(store: RunStore, prefix: str) -> str:
@@ -106,8 +129,11 @@ def _entry_row(key: str, entry: dict) -> list[object]:
         completion = report.completion_time
     else:
         verdict = f"error:{entry.get('error_type')}"
-        completion = "-"
-    return [key[:12], engine, name or "-", verdict, completion]
+        completion = None
+    return [
+        key[:12], engine, name or "-", verdict,
+        "-" if completion is None else completion,
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -157,7 +183,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_ls(args: argparse.Namespace) -> int:
-    with open_store(args.store) as store:
+    if args.limit < 0:
+        raise LabError(f"--limit must be >= 0, got {args.limit}")
+    with _open_existing(args.store) as store:
         # Filter and slice on the cheap index first; only the rows that
         # survive get their report blob parsed for the verdict column.
         selected = [
@@ -168,8 +196,12 @@ def _cmd_ls(args: argparse.Namespace) -> int:
         if args.limit:
             selected = selected[-args.limit:]
         rows = [_entry_row(key, store.get(key)) for key in selected]
+        total = len(store)
     if not rows:
-        print(f"store {args.store}: empty")
+        if total:
+            print(f"no runs match the filters ({total} in store)")
+        else:
+            print(f"store {args.store}: empty")
         return 0
     print(_format_rows(["key", "engine", "scenario", "verdict", "t"], rows))
     print(f"{len(rows)} run(s) shown")
@@ -177,7 +209,7 @@ def _cmd_ls(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    with open_store(args.store) as store:
+    with _open_existing(args.store) as store:
         key = _resolve_key(store, args.key)
         entry = store.get(key)
     if args.json:
@@ -213,7 +245,7 @@ _DIFF_FIELDS = (
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    with open_store(args.store) as store:
+    with _open_existing(args.store) as store:
         entries = [
             (key, store.get(key))
             for key in (_resolve_key(store, args.a), _resolve_key(store, args.b))
@@ -250,6 +282,96 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         ["field", entries[0][0][:12], entries[1][0][:12], ""], rows
     ))
     print(f"{differing} field(s) differ")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    by = tuple(dim for dim in args.by.split(",") if dim)
+    if not by:
+        raise LabError(
+            "--by needs at least one of engine, family, mix, params"
+        )
+    if args.compare and args.engine:
+        # Filtering would silently zero one side of the head-to-head.
+        raise LabError(
+            "--engine cannot be combined with --compare "
+            "(compare already names its two engines)"
+        )
+    with _open_existing(args.store) as store:
+        total = len(store)
+        facts = collect_facts(store, engines=args.engine or None)
+    if args.compare:
+        engine_a, engine_b = args.compare
+        check_dimensions(by)
+        pivot = next((dim for dim in by if dim != "engine"), "family")
+        rows = compare(facts, engine_a, engine_b, by=pivot)
+        if args.json:
+            print(json.dumps(
+                {"compare": [engine_a, engine_b], "by": pivot, "rows": rows},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        headers, table = compare_table(rows, engine_a, engine_b, pivot)
+        print(_format_rows(headers, table))
+        print(f"{len(rows)} group(s) over {len(facts)} run(s)")
+        return 0
+    if args.json:
+        print(json.dumps(stats_payload(facts, by), indent=2, sort_keys=True))
+        return 0
+    stats = aggregate(facts, by)  # validates --by even when empty
+    if not facts:
+        # Distinguish a store with no runs from a filter matching none.
+        if total:
+            print(f"no runs match the filters ({total} in store)")
+        else:
+            print(f"store {args.store}: empty")
+        return 0
+    headers, rows = stats_table(stats, by)
+    print(_format_rows(headers, rows))
+    print(f"{len(stats)} group(s) over {len(facts)} run(s)")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    # Every shard is opened — and so validated — before any merging
+    # starts, so a typo'd, missing, or corrupt shard never causes a
+    # partial merge.
+    missing = [src for src in args.sources if not Path(src).exists()]
+    if missing:
+        raise LabError(f"no such shard store: {', '.join(missing)}")
+    shards: list[tuple[str, RunStore]] = []
+    try:
+        for src in args.sources:
+            shard = open_store(src)
+            shards.append((src, shard))
+            # A corrupt SQLite shard raises on open; a corrupt JSONL
+            # shard "opens" because undecodable lines are skipped by
+            # design (torn-tail tolerance).  Distinguish garbage from a
+            # legitimate crash artifact: a shard killed during its very
+            # first write holds one torn line with no newline, while
+            # *complete* lines that all failed to decode are not a run
+            # store at all.
+            if isinstance(shard, JsonlStore) and not len(shard):
+                complete = Path(src).read_bytes().split(b"\n")[:-1]
+                if any(line.strip() for line in complete):
+                    raise LabError(
+                        f"shard {src} holds no decodable runs despite "
+                        "being non-empty (corrupt, or not a run store?)"
+                    )
+        written_total = 0
+        with open_store(args.dest) as dest:
+            before = len(dest)
+            for src, shard in shards:
+                written = dest.merge_from(shard)
+                written_total += written
+                print(f"merged {src}: {written} record(s) written")
+            print(
+                f"{args.dest}: {before} -> {len(dest)} run(s) "
+                f"({written_total} written)"
+            )
+    finally:
+        for _, shard in shards:
+            shard.close()
     return 0
 
 
@@ -341,6 +463,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_arg(diff)
     diff.set_defaults(func=_cmd_diff)
 
+    stats = sub.add_parser("stats", help="cross-sweep aggregates")
+    stats.add_argument(
+        "--by", default="engine", metavar="DIM[,DIM...]",
+        help="group-by dimensions: engine, family, mix, params "
+             "(comma-separated; default engine)",
+    )
+    stats.add_argument(
+        "--engine", action="append",
+        help="only runs of this engine (repeatable)",
+    )
+    stats.add_argument(
+        "--compare", nargs=2, metavar=("A", "B"),
+        help="pivot engines A and B head-to-head over the first "
+             "non-engine --by dimension (family when --by has none); "
+             "the safety delta column is B minus A",
+    )
+    stats.add_argument("--json", action="store_true", help="machine-readable")
+    _add_store_arg(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    merge = sub.add_parser(
+        "merge", help="absorb shard stores into DEST (newest record wins)"
+    )
+    merge.add_argument("dest", help="destination store path")
+    merge.add_argument("sources", nargs="+", help="shard store path(s)")
+    merge.set_defaults(func=_cmd_merge)
+
     sub.add_parser("families", help="list topology families").set_defaults(
         func=_cmd_families
     )
@@ -358,7 +507,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return args.func(args)
     except ReproError as error:
-        print(f"error: {error}")
+        print(f"error: {error}", file=sys.stderr)
         return 1
 
 

@@ -19,6 +19,11 @@ Three backends share the :class:`RunStore` contract:
 
 :func:`open_store` picks a backend from the path suffix.  Stores plug
 straight into :func:`repro.api.run_sweep` via its ``store=`` parameter.
+
+Sharded sweeps on different machines produce several stores; any store
+absorbs another via :meth:`RunStore.merge_from` (key-idempotent, the
+newest ``recorded_at`` wins a conflict), so JSONL and SQLite shards
+combine into one analyzable store for :mod:`repro.lab.analytics`.
 """
 
 from __future__ import annotations
@@ -37,24 +42,52 @@ class RunStore:
     """The storage contract ``run_sweep(store=...)`` relies on.
 
     ``get`` returns the stored entry dict for a key (or ``None``),
-    ``put`` persists one durably before returning.  Everything else is
+    ``put`` persists one before returning.  Everything else is
     convenience built on those two.
+
+    **Iteration-order contract** (pinned, honored by every backend):
+    ``keys()``/``entries()``/``index()`` iterate in *recording order* —
+    the order runs were last recorded.  Re-recording an existing key
+    moves it to the end, exactly as if it had been deleted and stored
+    afresh.  Persistent backends preserve this order across reopen.
     """
 
     def get(self, key: str) -> dict | None:
         raise NotImplementedError
 
-    def put(self, key: str, entry: dict) -> None:
+    def put(self, key: str, entry: dict, recorded_at: float | None = None) -> None:
+        """Persist ``entry`` under ``key``.
+
+        ``recorded_at`` defaults to now; :meth:`merge_from` passes the
+        source store's timestamp through so provenance survives merging.
+        """
         raise NotImplementedError
 
     def keys(self) -> tuple[str, ...]:
         raise NotImplementedError
 
+    def recorded_at(self, key: str) -> float | None:
+        """When ``key`` was last recorded (epoch seconds), if known."""
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - default no-op
+        """Make every ``put`` so far crash-durable.
+
+        ``run_sweep`` calls this after recording each completed worker
+        chunk, so a killed sweep keeps everything that was recorded
+        even on backends that batch their writes (:class:`SqliteStore`).
+        """
+
     def entries(self) -> Iterator[tuple[str, dict]]:
+        for key, entry, _ in self.records():
+            yield key, entry
+
+    def records(self) -> Iterator[tuple[str, dict, float | None]]:
+        """``(key, entry, recorded_at)`` triples in recording order."""
         for key in self.keys():
             entry = self.get(key)
             if entry is not None:
-                yield key, entry
+                yield key, entry, self.recorded_at(key)
 
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
@@ -70,6 +103,29 @@ class RunStore:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+    # -- sharding ------------------------------------------------------------
+
+    def merge_from(self, other: "RunStore") -> int:
+        """Absorb every run of ``other`` into this store.
+
+        Key-idempotent: a key this store already holds is only replaced
+        when the incoming record is strictly newer (``recorded_at``), so
+        merging the same shard twice — or two shards of one sharded
+        sweep in either order — converges to the same store.  A record
+        whose timestamp is unknown merges as oldest (epoch 0) so order
+        still converges.  Returns the number of records written.
+        """
+        written = 0
+        for key, entry, theirs in other.records():
+            theirs = 0.0 if theirs is None else theirs
+            mine = self.recorded_at(key)
+            if key in self and not (mine is None or theirs > mine):
+                if theirs != mine or not _tiebreak_wins(entry, self.get(key)):
+                    continue
+            self.put(key, entry, recorded_at=theirs)
+            written += 1
+        return written
 
     # -- lookups -------------------------------------------------------------
 
@@ -120,15 +176,23 @@ class MemoryStore(RunStore):
 
     def __init__(self) -> None:
         self._entries: dict[str, dict] = {}
+        self._recorded: dict[str, float] = {}
 
     def get(self, key: str) -> dict | None:
         return self._entries.get(key)
 
-    def put(self, key: str, entry: dict) -> None:
+    def put(self, key: str, entry: dict, recorded_at: float | None = None) -> None:
+        # pop-then-set keeps the recording-order contract: a re-recorded
+        # key moves to the end of iteration.
+        self._entries.pop(key, None)
         self._entries[key] = dict(entry)
+        self._recorded[key] = time.time() if recorded_at is None else recorded_at
 
     def keys(self) -> tuple[str, ...]:
         return tuple(self._entries)
+
+    def recorded_at(self, key: str) -> float | None:
+        return self._recorded.get(key)
 
 
 class JsonlStore(RunStore):
@@ -137,14 +201,17 @@ class JsonlStore(RunStore):
     Each ``put`` appends one ``{"key", "recorded_at", "entry"}`` line
     and flushes, so a killed sweep loses at most the line being written.
     On open, undecodable lines (the torn tail of an interrupted write)
-    are skipped; later lines for a key shadow earlier ones, making
-    re-recording an overwrite without any rewriting of history.
+    are skipped; later lines for a key shadow earlier ones — and take
+    over the earlier line's position *at the tail*, honoring the
+    recording-order contract — making re-recording an overwrite without
+    any rewriting of history.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._entries: dict[str, dict] = {}
+        self._recorded: dict[str, float] = {}
         torn_tail = False
         if self.path.exists():
             with self.path.open("rb") as raw:
@@ -156,38 +223,75 @@ class JsonlStore(RunStore):
                     continue
                 try:
                     record = json.loads(line)
-                    self._entries[record["key"]] = record["entry"]
+                    key, entry = record["key"], record["entry"]
                 except (json.JSONDecodeError, KeyError, TypeError):
                     continue  # torn write from an interrupted run
-        self._handle = self.path.open("a", encoding="utf-8")
-        if torn_tail:
-            # Seal the torn line so the next append starts fresh.
-            self._handle.write("\n")
-            self._handle.flush()
+                self._entries.pop(key, None)  # shadowed line moves to the end
+                self._entries[key] = entry
+                # An unstamped shadowing line also sheds the shadowed
+                # line's stamp — the entry it belonged to is gone.
+                self._recorded.pop(key, None)
+                if isinstance(record.get("recorded_at"), (int, float)):
+                    self._recorded[key] = float(record["recorded_at"])
+        self._torn_tail = torn_tail
+        self._handle = None
+
+    def _writer(self):
+        # Opened lazily so read-only consumers (lab stats, merge
+        # sources, possibly on read-only mounts) never touch the file.
+        if self._handle is None:
+            try:
+                self._handle = self.path.open("a", encoding="utf-8")
+            except OSError as error:
+                raise StoreError(
+                    f"cannot write to jsonl store {self.path}: {error}"
+                ) from error
+            if self._torn_tail:
+                # Seal the torn line so the next append starts fresh.
+                self._handle.write("\n")
+                self._handle.flush()
+                self._torn_tail = False
+        return self._handle
 
     def get(self, key: str) -> dict | None:
         return self._entries.get(key)
 
-    def put(self, key: str, entry: dict) -> None:
-        record = {"key": key, "recorded_at": time.time(), "entry": entry}
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+    def put(self, key: str, entry: dict, recorded_at: float | None = None) -> None:
+        stamp = time.time() if recorded_at is None else recorded_at
+        record = {"key": key, "recorded_at": stamp, "entry": entry}
+        writer = self._writer()
+        writer.write(json.dumps(record, sort_keys=True) + "\n")
+        writer.flush()
+        self._entries.pop(key, None)
         self._entries[key] = dict(entry)
+        self._recorded[key] = stamp
 
     def keys(self) -> tuple[str, ...]:
         return tuple(self._entries)
 
+    def recorded_at(self, key: str) -> float | None:
+        return self._recorded.get(key)
+
     def close(self) -> None:
-        self._handle.close()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 class SqliteStore(RunStore):
     """One ``runs`` table in a ``sqlite3`` database.
 
-    Keys are primary; ``put`` is an upsert committed immediately, so
-    interrupted sweeps keep every completed run.  The ``engine`` and
-    ``scenario_name`` columns are denormalised out of the entry to keep
-    ``lab ls`` queries from parsing every report blob.
+    Keys are primary; ``put`` is an upsert.  Commits are batched: at
+    most ``commit_every - 1`` puts are ever uncommitted (and ``close``
+    / context-manager exit always commits), trading a bounded window of
+    crash loss for an order-of-magnitude fewer fsyncs on bulk writes —
+    ``commit_every=1`` restores commit-per-put durability, and
+    ``run_sweep`` calls :meth:`flush` after every recorded worker
+    chunk, so sweep results are never in the crash window.  The
+    ``engine`` and ``scenario_name`` columns are denormalised out of
+    the entry to keep ``lab ls`` queries from parsing every report
+    blob.  Iteration follows rowid, which ``INSERT OR REPLACE``
+    reassigns on overwrite — exactly the recording-order contract.
     """
 
     _SCHEMA = """
@@ -201,12 +305,35 @@ class SqliteStore(RunStore):
         )
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, commit_every: int = 8) -> None:
+        if commit_every < 1:
+            raise StoreError(f"commit_every must be >= 1, got {commit_every}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._db = sqlite3.connect(str(self.path))
-        self._db.execute(self._SCHEMA)
-        self._db.commit()
+        self.commit_every = commit_every
+        self._uncommitted = 0
+        try:
+            self._db = sqlite3.connect(str(self.path))
+            self._db.execute(self._SCHEMA)
+            self._db.commit()
+        except sqlite3.Error as error:
+            # e.g. an existing file that is not a database; surface it
+            # as a domain error so the CLI reports it instead of a
+            # traceback.
+            raise StoreError(
+                f"cannot open sqlite store {self.path}: {error}"
+            ) from error
+
+    def _row(self, key: str, entry: dict, recorded_at: float | None) -> tuple:
+        engine, name = _entry_identity(entry)
+        return (
+            key,
+            engine,
+            name,
+            1 if entry.get("ok") else 0,
+            time.time() if recorded_at is None else recorded_at,
+            json.dumps(entry, sort_keys=True),
+        )
 
     def get(self, key: str) -> dict | None:
         row = self._db.execute(
@@ -214,26 +341,54 @@ class SqliteStore(RunStore):
         ).fetchone()
         return None if row is None else json.loads(row[0])
 
-    def put(self, key: str, entry: dict) -> None:
-        engine, name = _entry_identity(entry)
+    def put(self, key: str, entry: dict, recorded_at: float | None = None) -> None:
         self._db.execute(
             "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?)",
-            (
-                key,
-                engine,
-                name,
-                1 if entry.get("ok") else 0,
-                time.time(),
-                json.dumps(entry, sort_keys=True),
-            ),
+            self._row(key, entry, recorded_at),
         )
+        self._uncommitted += 1
+        if self._uncommitted >= self.commit_every:
+            self.commit()
+
+    def commit(self) -> None:
+        """Flush any deferred puts to disk."""
         self._db.commit()
+        self._uncommitted = 0
+
+    def flush(self) -> None:
+        if self._uncommitted:
+            self.commit()
+
+    def merge_from(self, other: RunStore) -> int:
+        """Absorb ``other`` in a single ``executemany`` transaction."""
+        # One scan of the destination, not a recorded_at() SELECT per
+        # incoming record.
+        held = dict(
+            self._db.execute("SELECT key, recorded_at FROM runs").fetchall()
+        )
+        rows = []
+        for key, entry, theirs in other.records():
+            theirs = 0.0 if theirs is None else theirs
+            mine = held.get(key)
+            if mine is not None and not theirs > mine:
+                if theirs != mine or not _tiebreak_wins(entry, self.get(key)):
+                    continue
+            rows.append(self._row(key, entry, theirs))
+        self._db.executemany(
+            "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?)", rows
+        )
+        self.commit()
+        return len(rows)
 
     def keys(self) -> tuple[str, ...]:
-        rows = self._db.execute(
-            "SELECT key FROM runs ORDER BY recorded_at, key"
-        ).fetchall()
+        rows = self._db.execute("SELECT key FROM runs ORDER BY rowid").fetchall()
         return tuple(row[0] for row in rows)
+
+    def recorded_at(self, key: str) -> float | None:
+        row = self._db.execute(
+            "SELECT recorded_at FROM runs WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
 
     def find(self, key_prefix: str) -> list[str]:
         rows = self._db.execute(
@@ -244,16 +399,43 @@ class SqliteStore(RunStore):
 
     def index(self) -> list[tuple[str, str, str, bool]]:
         rows = self._db.execute(
-            "SELECT key, engine, scenario_name, ok FROM runs "
-            "ORDER BY recorded_at, key"
+            "SELECT key, engine, scenario_name, ok FROM runs ORDER BY rowid"
         ).fetchall()
         return [(key, engine, name, bool(ok)) for key, engine, name, ok in rows]
+
+    def records(self) -> Iterator[tuple[str, dict, float | None]]:
+        # One scan, not one SELECT per key — analytics and merges walk
+        # whole stores, where N+1 lookups would dominate.
+        cursor = self._db.execute(
+            "SELECT key, entry, recorded_at FROM runs ORDER BY rowid"
+        )
+        for key, raw, stamp in cursor:  # streamed, not fetchall'd
+            yield key, json.loads(raw), stamp
 
     def __len__(self) -> int:
         return self._db.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
 
     def close(self) -> None:
+        # flush(), not commit(): it no-ops when nothing is pending, so
+        # close() stays idempotent (sqlite3's own close already is).
+        self.flush()
         self._db.close()
+
+
+def _tiebreak_wins(incoming: dict, current: dict | None) -> bool:
+    """Deterministic winner between two entries with equal timestamps.
+
+    Two shards can record the same run key at the same instant with
+    entries differing only in machine-local fields (``wall_seconds``).
+    Strictly-newer-wins alone would keep whichever shard merged first;
+    comparing canonical serializations instead makes merge order
+    irrelevant, preserving the convergence guarantee.
+    """
+    if current is None:
+        return True
+    return json.dumps(incoming, sort_keys=True) > json.dumps(
+        current, sort_keys=True
+    )
 
 
 def _entry_identity(entry: dict) -> tuple[str, str]:

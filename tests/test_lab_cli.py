@@ -7,6 +7,7 @@ and the discovery subcommands enumerate the registry.
 
 from __future__ import annotations
 
+import json
 import re
 
 import pytest
@@ -51,7 +52,9 @@ class TestRun:
 
     def test_run_requires_target(self, store_path, capsys):
         assert _run(["run", "--store", store_path]) == 1
-        assert "error:" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "error:" not in captured.out  # diagnostics stay off stdout
 
     def test_preset_and_family_are_mutually_exclusive(self, store_path, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -74,8 +77,7 @@ class TestRun:
 
     def test_unknown_family_is_reported(self, store_path, capsys):
         assert _run(["run", "--family", "nope", "--store", store_path]) == 1
-        out = capsys.readouterr().out
-        assert "unknown topology family" in out
+        assert "unknown topology family" in capsys.readouterr().err
 
     def test_no_store_never_touches_the_store_path(self, tmp_path, capsys):
         path = tmp_path / "sub" / "runs.sqlite"
@@ -114,8 +116,19 @@ class TestInspection:
             assert key[:12] in out
 
     def test_ls_empty_store(self, tmp_path, capsys):
-        assert _run(["ls", "--store", str(tmp_path / "empty.sqlite")]) == 0
+        path = str(tmp_path / "empty.sqlite")
+        open_store(path).close()  # exists, holds no runs
+        assert _run(["ls", "--store", path]) == 0
         assert "empty" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("args", [["ls"], ["show", "abcd"],
+                                      ["diff", "ab", "cd"], ["stats"]])
+    def test_readonly_commands_reject_missing_store(self, tmp_path, capsys,
+                                                    args):
+        path = tmp_path / "typo.sqlite"
+        assert _run([*args, "--store", str(path)]) == 1
+        assert "no such store" in capsys.readouterr().err
+        assert not path.exists()  # no junk store created
 
     def test_show_by_prefix(self, populated, capsys):
         store_path, keys = populated
@@ -133,7 +146,7 @@ class TestInspection:
     def test_show_missing_prefix(self, populated, capsys):
         store_path, _ = populated
         assert _run(["show", "ffffffffffff", "--store", store_path]) == 1
-        assert "no stored run" in capsys.readouterr().out
+        assert "no stored run" in capsys.readouterr().err
 
     def test_diff(self, populated, capsys):
         store_path, keys = populated
@@ -142,6 +155,250 @@ class TestInspection:
         out = capsys.readouterr().out
         assert "scenario" in out
         assert re.search(r"\d+ field\(s\) differ", out)
+
+
+class TestLsRendering:
+    def test_ls_renders_missing_completion_as_dash(self, store_path, capsys):
+        # two-coalition is not strongly connected: engines refuse it, so
+        # the store holds a failure whose completion column must render
+        # as "-", not "None".
+        _run(["run", "--family", "two-coalition", "--serial",
+              "--store", store_path])
+        capsys.readouterr()
+        assert _run(["ls", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "None" not in out
+        assert "error:" in out  # the verdict column, not a diagnostic
+
+    def test_ls_filter_matching_nothing_is_not_empty(self, store_path,
+                                                     capsys):
+        _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+              "--store", store_path])
+        capsys.readouterr()
+        assert _run(["ls", "--engine", "herlihyy",
+                     "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "no runs match the filters (1 in store)" in out
+        assert "empty" not in out
+
+    def test_ls_rejects_negative_limit(self, store_path, capsys):
+        assert _run(["ls", "--limit", "-3", "--store", store_path]) == 1
+        captured = capsys.readouterr()
+        assert "--limit must be >= 0" in captured.err
+        assert captured.out == ""
+
+
+class TestStats:
+    @pytest.fixture
+    def populated(self, store_path, capsys):
+        _run(["run", "--family", "cycle", "--grid", "n=3,4",
+              "--mix", "all-conforming", "--mix", "phase-crash",
+              "--engine", "herlihy", "--engine", "naive-timelock",
+              "--serial", "--store", store_path])
+        capsys.readouterr()
+        return store_path
+
+    def test_stats_default_groups_by_engine(self, populated, capsys):
+        assert _run(["stats", "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert "herlihy" in out and "naive-timelock" in out
+        assert "all-Deal" in out and "Thm4.9-safe" in out
+        assert "2 group(s) over 8 run(s)" in out
+
+    def test_stats_multi_dimension_group_by(self, populated, capsys):
+        assert _run(["stats", "--by", "engine,mix", "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert "all-conforming" in out and "phase-crash" in out
+        assert "4 group(s) over 8 run(s)" in out
+
+    def test_stats_engine_filter(self, populated, capsys):
+        assert _run(["stats", "--engine", "herlihy", "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert "herlihy" in out and "naive-timelock" not in out
+        assert "over 4 run(s)" in out
+
+    def test_stats_json_schema(self, populated, capsys):
+        assert _run(["stats", "--by", "family,mix", "--json",
+                     "--store", populated]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["by"] == ["family", "mix"]
+        assert payload["total_runs"] == 8
+        assert set(payload["dimensions"]) == {"engine", "family", "mix",
+                                              "params"}
+        for group in payload["groups"]:
+            assert set(group["group"]) == {"family", "mix"}
+            assert 0.0 <= group["all_deal_rate"] <= 1.0
+            assert group["runs"] >= group["ok"]
+
+    def test_stats_compare(self, populated, capsys):
+        assert _run(["stats", "--compare", "herlihy", "naive-timelock",
+                     "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert "runs herlihy" in out and "runs naive-timelock" in out
+        assert "safety" in out
+
+    def test_stats_compare_skips_engine_in_by(self, populated, capsys):
+        # --by engine,mix + --compare pivots over mix, the first
+        # non-engine dimension (compare already splits by engine).
+        assert _run(["stats", "--by", "engine,mix",
+                     "--compare", "herlihy", "naive-timelock",
+                     "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("mix ")
+        assert "phase-crash" in out
+
+    def test_stats_filter_matching_nothing_is_not_empty(self, populated,
+                                                        capsys):
+        # A typo'd engine filter must not claim the store itself is empty.
+        assert _run(["stats", "--engine", "herlihyy",
+                     "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert "no runs match the filters (8 in store)" in out
+        assert "empty" not in out
+
+    def test_stats_rejects_engine_filter_with_compare(self, populated,
+                                                      capsys):
+        assert _run(["stats", "--engine", "herlihy",
+                     "--compare", "herlihy", "naive-timelock",
+                     "--store", populated]) == 1
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_stats_rejects_unknown_dimension(self, populated, capsys):
+        assert _run(["stats", "--by", "vibe", "--store", populated]) == 1
+        assert "group-by dimensions" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("extra", [[], ["--compare", "herlihy", "2pc"]])
+    def test_stats_rejects_empty_by(self, populated, capsys, extra):
+        assert _run(["stats", "--by", ",", *extra, "--store", populated]) == 1
+        assert "--by needs at least one" in capsys.readouterr().err
+
+    def test_stats_compare_rejects_typo_after_pivot(self, populated, capsys):
+        # The typo'd trailing dimension must error, not be silently
+        # dropped once the pivot is resolved from the first entry.
+        assert _run(["stats", "--by", "family,mixx",
+                     "--compare", "herlihy", "naive-timelock",
+                     "--store", populated]) == 1
+        assert "group-by dimensions" in capsys.readouterr().err
+
+    def test_stats_empty_store(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.sqlite")
+        open_store(path).close()  # exists, holds no runs
+        assert _run(["stats", "--store", path]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_stats_empty_store_still_validates_by(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.sqlite")
+        open_store(path).close()
+        assert _run(["stats", "--by", "vibe", "--store", path]) == 1
+        assert "group-by dimensions" in capsys.readouterr().err
+
+
+class TestMerge:
+    def test_merge_shards_matches_single_store(self, tmp_path, capsys):
+        shard_a = str(tmp_path / "a.sqlite")
+        shard_b = str(tmp_path / "b.jsonl")  # mixed backends merge too
+        whole = str(tmp_path / "whole.sqlite")
+        merged = str(tmp_path / "merged.sqlite")
+        _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+              "--store", shard_a])
+        _run(["run", "--family", "cycle", "--grid", "n=4", "--serial",
+              "--store", shard_b])
+        _run(["run", "--family", "cycle", "--grid", "n=3,4", "--serial",
+              "--store", whole])
+        capsys.readouterr()
+
+        assert _run(["merge", merged, shard_a, shard_b]) == 0
+        out = capsys.readouterr().out
+        assert "0 -> 2 run(s)" in out
+
+        assert _run(["stats", "--by", "engine,params", "--json",
+                     "--store", merged]) == 0
+        from_shards = json.loads(capsys.readouterr().out)
+        assert _run(["stats", "--by", "engine,params", "--json",
+                     "--store", whole]) == 0
+        from_whole = json.loads(capsys.readouterr().out)
+
+        # Model-level aggregates are deterministic across executions;
+        # only wall clock (measured per execution) may differ.
+        def drop_wall(payload):
+            for group in payload["groups"]:
+                group.pop("wall_ms_total")
+            return payload
+
+        assert drop_wall(from_shards) == drop_wall(from_whole)
+
+    def test_merge_rejects_missing_shard(self, tmp_path, capsys):
+        shard = str(tmp_path / "real.sqlite")
+        dest = str(tmp_path / "dest.sqlite")
+        typo = str(tmp_path / "typo.sqlite")
+        _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+              "--store", shard])
+        capsys.readouterr()
+        assert _run(["merge", dest, shard, typo]) == 1
+        assert "no such shard store" in capsys.readouterr().err
+        # and the typo'd path was not created as an empty junk store
+        assert not (tmp_path / "typo.sqlite").exists()
+        assert not (tmp_path / "dest.sqlite").exists()
+
+    def test_merge_corrupt_shard_prevents_partial_merge(self, tmp_path,
+                                                        capsys):
+        good = str(tmp_path / "good.sqlite")
+        corrupt = tmp_path / "corrupt.sqlite"
+        corrupt.write_text("not a database\n")
+        dest = tmp_path / "dest.sqlite"
+        _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+              "--store", good])
+        capsys.readouterr()
+        # Every shard is validated before merging starts: the good
+        # shard must NOT land in dest when a later shard is corrupt.
+        assert _run(["merge", str(dest), good, str(corrupt)]) == 1
+        captured = capsys.readouterr()
+        assert "cannot open sqlite store" in captured.err
+        assert "merged" not in captured.out
+        if dest.exists():
+            with open_store(str(dest)) as store:
+                assert len(store) == 0
+
+    def test_merge_corrupt_jsonl_shard_is_rejected(self, tmp_path, capsys):
+        good = str(tmp_path / "good.sqlite")
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_bytes(b"\x00binary garbage, no decodable line\xff\n")
+        dest = tmp_path / "dest.sqlite"
+        _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+              "--store", good])
+        capsys.readouterr()
+        assert _run(["merge", str(dest), good, str(corrupt)]) == 1
+        captured = capsys.readouterr()
+        assert "no decodable runs" in captured.err
+        assert "merged" not in captured.out  # good shard not merged either
+
+    def test_merge_accepts_shard_torn_on_first_write(self, tmp_path, capsys):
+        # A shard killed during its very first put holds one torn line
+        # and no newline — a legitimate crash artifact, not garbage.
+        good = str(tmp_path / "good.sqlite")
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"key": "ab", "entry": {"ok"')  # no newline
+        dest = str(tmp_path / "dest.sqlite")
+        _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+              "--store", good])
+        capsys.readouterr()
+        assert _run(["merge", dest, good, str(torn)]) == 0
+        out = capsys.readouterr().out
+        assert f"merged {torn}: 0 record(s) written" in out
+        assert "0 -> 1 run(s)" in out
+
+    def test_merge_is_idempotent(self, tmp_path, capsys):
+        shard = str(tmp_path / "shard.sqlite")
+        dest = str(tmp_path / "dest.sqlite")
+        _run(["run", "--family", "cycle", "--grid", "n=3", "--serial",
+              "--store", shard])
+        capsys.readouterr()
+        assert _run(["merge", dest, shard]) == 0
+        assert "1 record(s) written" in capsys.readouterr().out
+        assert _run(["merge", dest, shard]) == 0
+        out = capsys.readouterr().out
+        assert "0 record(s) written" in out
+        assert "1 -> 1 run(s)" in out
 
 
 class TestDiscovery:

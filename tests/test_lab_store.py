@@ -14,6 +14,9 @@ The load-bearing guarantees:
 from __future__ import annotations
 
 import json
+import sqlite3
+import threading
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -22,6 +25,7 @@ from repro.api import Scenario, Sweep, run_key, run_sweep
 from repro.digraph.digraph import Digraph
 from repro.digraph.generators import cycle_digraph, triangle, two_leader_triangle
 from repro.errors import StoreError
+from repro.lab.analytics import collect_facts, stats_payload
 from repro.lab.store import JsonlStore, MemoryStore, SqliteStore, open_store
 
 ENTRY = {"ok": False, "engine": "x", "scenario": {"name": "s"},
@@ -81,6 +85,39 @@ class TestBackends:
         with JsonlStore(path) as store:
             assert sorted(store.keys()) == ["after", "good"]
 
+    def test_jsonl_read_only_access_never_touches_the_file(self, tmp_path):
+        # Read-only consumers (lab stats, merge sources) must not open
+        # the file for append — not even to seal a torn tail.
+        path = tmp_path / "runs.jsonl"
+        with JsonlStore(path) as store:
+            store.put("k", ENTRY)
+        with path.open("a") as handle:
+            handle.write('{"key": "torn"')  # interrupted write, no newline
+        before = path.read_bytes()
+        with JsonlStore(path) as store:
+            assert store.keys() == ("k",)
+            list(store.entries())
+        assert path.read_bytes() == before  # byte-for-byte untouched
+        with JsonlStore(path) as store:
+            store.put("after", ENTRY)  # first write seals the torn tail
+        with JsonlStore(path) as store:
+            assert sorted(store.keys()) == ["after", "k"]
+
+    def test_jsonl_unstamped_shadowing_line_sheds_old_stamp(self, tmp_path):
+        # A later line for a key without recorded_at must not keep the
+        # shadowed line's stamp — the entry that stamp belonged to is
+        # gone, and merge_from would trust the stale timestamp.
+        path = tmp_path / "runs.jsonl"
+        with JsonlStore(path) as store:
+            store.put("k", ENTRY, recorded_at=100.0)
+        with path.open("a") as handle:
+            handle.write(json.dumps({"key": "k", "entry": {"ok": True,
+                                                           "report": {}}}))
+            handle.write("\n")
+        with JsonlStore(path) as store:
+            assert store.get("k")["ok"] is True
+            assert store.recorded_at("k") is None
+
     def test_open_store_dispatch(self, tmp_path):
         assert isinstance(open_store(":memory:"), MemoryStore)
         assert isinstance(open_store(tmp_path / "a.jsonl"), JsonlStore)
@@ -102,6 +139,12 @@ class TestBackends:
             ]
             store.close()
 
+    def test_sqlite_rejects_non_database_file(self, tmp_path):
+        path = tmp_path / "notes.sqlite"
+        path.write_text("this is not a database\n")
+        with pytest.raises(StoreError, match="cannot open sqlite store"):
+            SqliteStore(path)
+
     def test_report_accessor(self, tmp_path):
         store = MemoryStore()
         with pytest.raises(StoreError):
@@ -109,6 +152,192 @@ class TestBackends:
         store.put("f", ENTRY)
         with pytest.raises(StoreError):
             store.report("f")  # failure record, not a report
+
+
+OK_ENTRY = {"ok": True, "report": {"engine": "e", "scenario": {"name": "n"}}}
+
+
+class TestIterationOrder:
+    """The pinned RunStore contract: recording order, re-record at the end.
+
+    JSONL used to keep a re-recorded key at its *first* position while
+    SQLite reordered by ``recorded_at`` — ``lab ls`` listings disagreed
+    depending on the backend.  All backends now agree.
+    """
+
+    def test_rerecord_moves_key_to_the_end_everywhere(self, tmp_path):
+        for store in _make_stores(tmp_path):
+            for key in ("a", "b", "c"):
+                store.put(key, ENTRY)
+            store.put("a", OK_ENTRY)  # re-record: a leaves slot 0
+            assert store.keys() == ("b", "c", "a")
+            assert [k for k, _ in store.entries()] == ["b", "c", "a"]
+            assert [row[0] for row in store.index()] == ["b", "c", "a"]
+            assert [
+                (k, e) for k, e, _ in store.records()
+            ] == list(store.entries())
+            store.close()
+
+    @pytest.mark.parametrize("filename", ["runs.jsonl", "runs.sqlite"])
+    def test_order_survives_reopen(self, tmp_path, filename):
+        path = tmp_path / filename
+        with open_store(path) as store:
+            for key in ("a", "b", "c"):
+                store.put(key, ENTRY)
+            store.put("b", OK_ENTRY)
+        with open_store(path) as store:
+            assert store.keys() == ("a", "c", "b")
+
+
+class TestMergeFrom:
+    def test_merge_between_any_backends(self, tmp_path):
+        for i, src in enumerate(_make_stores(tmp_path / "src")):
+            src.put("k1", ENTRY, recorded_at=10.0)
+            src.put("k2", OK_ENTRY, recorded_at=20.0)
+            for j, dest in enumerate(_make_stores(tmp_path / f"dest{i}")):
+                assert dest.merge_from(src) == 2
+                assert dest.get("k1") == ENTRY
+                assert dest.get("k2") == OK_ENTRY
+                # provenance: the source timestamps survive the merge
+                assert dest.recorded_at("k1") == 10.0
+                assert dest.recorded_at("k2") == 20.0
+                dest.close()
+            src.close()
+
+    def test_newest_recorded_at_wins(self, tmp_path):
+        dest = SqliteStore(tmp_path / "dest.sqlite")
+        dest.put("k", ENTRY, recorded_at=100.0)
+        newer = MemoryStore()
+        newer.put("k", OK_ENTRY, recorded_at=200.0)
+        assert dest.merge_from(newer) == 1
+        assert dest.get("k") == OK_ENTRY
+
+        older = MemoryStore()
+        older.put("k", ENTRY, recorded_at=50.0)
+        assert dest.merge_from(older) == 0  # stale shard changes nothing
+        assert dest.get("k") == OK_ENTRY
+        assert dest.recorded_at("k") == 200.0
+
+    def test_merge_is_idempotent(self, tmp_path):
+        shard = JsonlStore(tmp_path / "shard.jsonl")
+        shard.put("k1", ENTRY, recorded_at=1.0)
+        shard.put("k2", OK_ENTRY, recorded_at=2.0)
+        dest = SqliteStore(tmp_path / "dest.sqlite")
+        assert dest.merge_from(shard) == 2
+        assert dest.merge_from(shard) == 0  # same shard again: no writes
+        assert len(dest) == 2
+
+    def test_unknown_timestamp_merges_as_oldest_and_converges(self, tmp_path):
+        # A JSONL line without recorded_at (tolerated on load) must not
+        # win conflicts just because it was merged first.
+        unknown = JsonlStore(tmp_path / "unknown.jsonl")
+        unknown.put("k", ENTRY)
+        (tmp_path / "unknown.jsonl").write_text(
+            json.dumps({"key": "k", "entry": ENTRY}) + "\n"
+        )
+        unknown = JsonlStore(tmp_path / "unknown.jsonl")  # reload: no stamp
+        assert unknown.recorded_at("k") is None
+        stamped = MemoryStore()
+        stamped.put("k", OK_ENTRY, recorded_at=100.0)
+
+        first = SqliteStore(tmp_path / "first.sqlite")
+        first.merge_from(unknown), first.merge_from(stamped)
+        second = SqliteStore(tmp_path / "second.sqlite")
+        second.merge_from(stamped), second.merge_from(unknown)
+        assert first.get("k") == OK_ENTRY == second.get("k")
+        assert first.recorded_at("k") == 100.0 == second.recorded_at("k")
+
+    def test_equal_timestamps_converge_via_tiebreak(self, tmp_path):
+        # Two shards stamped the same run at the same instant with
+        # machine-local differences (wall_seconds): merge order must not
+        # decide the winner.
+        entry_a = {"ok": True, "report": {"wall_seconds": 0.25}}
+        entry_b = {"ok": True, "report": {"wall_seconds": 0.75}}
+        a, b = MemoryStore(), MemoryStore()
+        a.put("k", entry_a, recorded_at=100.0)
+        b.put("k", entry_b, recorded_at=100.0)
+
+        ab = SqliteStore(tmp_path / "ab.sqlite")
+        ab.merge_from(a), ab.merge_from(b)
+        ba = JsonlStore(tmp_path / "ba.jsonl")
+        ba.merge_from(b), ba.merge_from(a)
+        assert ab.get("k") == ba.get("k")
+
+    def test_merge_order_converges(self, tmp_path):
+        """Shards of one sweep merge to the same store in either order."""
+        a = MemoryStore()
+        a.put("shared", ENTRY, recorded_at=1.0)
+        a.put("only-a", OK_ENTRY, recorded_at=2.0)
+        b = MemoryStore()
+        b.put("shared", OK_ENTRY, recorded_at=3.0)  # b re-ran it later
+        b.put("only-b", ENTRY, recorded_at=4.0)
+
+        ab = SqliteStore(tmp_path / "ab.sqlite")
+        ab.merge_from(a), ab.merge_from(b)
+        ba = SqliteStore(tmp_path / "ba.sqlite")
+        ba.merge_from(b), ba.merge_from(a)
+
+        def content(store):
+            return {
+                key: (store.get(key), store.recorded_at(key))
+                for key in store.keys()
+            }
+
+        assert content(ab) == content(ba)
+        assert ab.get("shared") == OK_ENTRY
+
+
+class TestSqliteCommitBatching:
+    def test_rejects_nonpositive_commit_every(self, tmp_path):
+        with pytest.raises(StoreError):
+            SqliteStore(tmp_path / "runs.sqlite", commit_every=0)
+
+    def test_puts_commit_at_batch_boundaries(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        store = SqliteStore(path, commit_every=4)
+        other = sqlite3.connect(str(path))  # what a crash would leave
+
+        def durable():
+            return other.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+        for i in range(3):
+            store.put(f"k{i}", ENTRY)
+        assert durable() == 0  # deferred, but visible to the writer...
+        assert len(store) == 3 and store.get("k0") == ENTRY
+        store.put("k3", ENTRY)
+        assert durable() == 4  # ...and committed at the K-th put
+        store.put("k4", ENTRY)
+        store.close()  # close always flushes the partial batch
+        assert durable() == 5
+        other.close()
+
+    def test_run_sweep_flushes_each_result(self, tmp_path):
+        # Even with a huge batch size, sweep results must be durable
+        # (visible to a second connection, what a crash would leave)
+        # before the store is closed: run_sweep flushes per chunk.
+        path = tmp_path / "runs.sqlite"
+        store = SqliteStore(path, commit_every=1000)
+        run_sweep(_sweep(), parallel=False, store=store)
+        other = sqlite3.connect(str(path))
+        assert other.execute("SELECT COUNT(*) FROM runs").fetchone()[0] == 4
+        other.close()
+        store.close()
+
+    def test_commit_every_one_is_per_put_durable(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        store = SqliteStore(path, commit_every=1)
+        other = sqlite3.connect(str(path))
+        store.put("k", ENTRY)
+        assert other.execute("SELECT COUNT(*) FROM runs").fetchone()[0] == 1
+        other.close()
+        store.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = SqliteStore(tmp_path / "runs.sqlite")
+        store.put("k", ENTRY)
+        with store:
+            store.close()  # early manual close inside the with-block
+        store.close()  # and again after __exit__
 
 
 def _sweep() -> Sweep:
@@ -180,6 +409,123 @@ class TestSweepStoreIntegration:
         report = run_sweep(_sweep(), parallel=False)
         assert report.cached == 0 and report.executed == 4
         assert report.mode == "serial"
+
+
+class SimulatedCrash(Exception):
+    """Stands in for the process dying mid-sweep."""
+
+
+class CrashingStore(MemoryStore):
+    """Raises after ``crash_after`` puts, then releases ``unblock``."""
+
+    def __init__(self, crash_after: int, unblock: threading.Event) -> None:
+        super().__init__()
+        self.crash_after = crash_after
+        self.unblock = unblock
+
+    def put(self, key, entry, recorded_at=None):
+        super().put(key, entry, recorded_at)
+        if len(self._entries) >= self.crash_after:
+            self.unblock.set()
+            raise SimulatedCrash(f"crashed after {len(self._entries)} puts")
+
+
+class TestOutOfOrderPersistence:
+    """The headline regression: ``pool.map`` yields strictly in sweep
+    order, so results completed out of order sat unpersisted until every
+    earlier chunk finished — an interruption discarded them, despite the
+    docstring's "persisted the moment its worker returns".  The
+    submit + as_completed path records each chunk as it finishes.
+    """
+
+    def test_interruption_keeps_every_completed_run(self, monkeypatch):
+        sweep = Sweep("t").add_product(
+            ["herlihy"],
+            [(f"c{n}", cycle_digraph(n)) for n in range(3, 9)],  # 6 items
+        )
+        # Threads instead of processes so the first chunk can stall on an
+        # in-memory event; run_sweep's pool protocol is identical.
+        monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", ThreadPoolExecutor)
+        unblock = threading.Event()
+        real_chunk = sweep_mod._run_chunk
+
+        def stall_first_item(payloads):
+            if payloads[0][1]["name"].endswith("#0"):
+                unblock.wait(timeout=30)
+            return real_chunk(payloads)
+
+        monkeypatch.setattr(sweep_mod, "_run_chunk", stall_first_item)
+
+        crash_after = 3
+        store = CrashingStore(crash_after, unblock)
+        with pytest.raises(SimulatedCrash):
+            run_sweep(
+                sweep, parallel=True, max_workers=2, chunksize=1, store=store
+            )
+
+        # Every run completed before the crash was already persisted...
+        assert len(store) >= crash_after
+        # ...and none of them is sweep item #0: the persisted runs all
+        # completed *out of sweep order*, which pool.map would have
+        # buffered (and an interruption would have discarded).
+        items = sweep.items()
+        first_key = run_key(items[0][0], items[0][1])
+        assert first_key not in store
+        stored_keys = {run_key(e, s) for e, s in items[1:]}
+        assert set(store.keys()) <= stored_keys
+
+    def test_resume_after_interruption_runs_only_the_missing(self, monkeypatch):
+        sweep = Sweep("t").add_product(
+            ["herlihy"],
+            [(f"c{n}", cycle_digraph(n)) for n in range(3, 9)],
+        )
+        monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", ThreadPoolExecutor)
+        unblock = threading.Event()
+        real_chunk = sweep_mod._run_chunk
+
+        def stall_first_item(payloads):
+            if payloads[0][1]["name"].endswith("#0"):
+                unblock.wait(timeout=30)
+            return real_chunk(payloads)
+
+        monkeypatch.setattr(sweep_mod, "_run_chunk", stall_first_item)
+        crashing = CrashingStore(3, unblock)
+        with pytest.raises(SimulatedCrash):
+            run_sweep(
+                sweep, parallel=True, max_workers=2, chunksize=1, store=crashing
+            )
+
+        # Resume into a fresh store seeded with what survived the crash.
+        survivor = MemoryStore()
+        for key in crashing.keys():
+            survivor.put(key, crashing.get(key))
+        resumed = run_sweep(sweep, parallel=False, store=survivor)
+        assert resumed.cached == len(crashing)
+        assert resumed.executed == len(sweep) - len(crashing)
+        assert len(resumed.reports) == len(sweep)
+
+
+class TestShardedStatsParity:
+    def test_merged_shards_report_identical_aggregates(self, tmp_path):
+        """lab stats over a merged two-shard store == the single store."""
+        whole = MemoryStore()
+        run_sweep(_sweep(), parallel=False, store=whole)
+        assert len(whole) == 4
+
+        shard_a = JsonlStore(tmp_path / "a.jsonl")
+        shard_b = SqliteStore(tmp_path / "b.sqlite")
+        for i, (key, entry) in enumerate(whole.entries()):
+            shard = shard_a if i % 2 else shard_b
+            shard.put(key, entry, recorded_at=whole.recorded_at(key))
+
+        merged = SqliteStore(tmp_path / "merged.sqlite")
+        assert merged.merge_from(shard_a) + merged.merge_from(shard_b) == 4
+        by = ("engine", "family", "mix")
+        assert stats_payload(collect_facts(merged), by) == stats_payload(
+            collect_facts(whole), by
+        )
+        for store in (shard_a, shard_b, merged):
+            store.close()
 
 
 class TestContentAddressing:
