@@ -1,15 +1,25 @@
 """The six protocol adapters, registered at import time.
 
-============== =======================================================
-name           wraps
-============== =======================================================
-herlihy        :func:`repro.core.protocol.run_swap` (§4.5 hashkeys)
-single-leader  :func:`repro.core.timelocks.run_single_leader_swap` (§4.6)
-multiswap      :func:`repro.core.multiswap.run_multigraph_swap` (§5)
-naive-timelock baseline B1 — equal timeouts (the §1 anti-pattern)
-sequential-trust baseline B2 — sequential trusted transfers
-2pc            baseline B3 — trusted-coordinator two-phase commit
-============== =======================================================
+================ ==================================================== ==============================
+name             wraps                                                ``Scenario.timing`` applies to
+================ ==================================================== ==============================
+herlihy          :func:`repro.core.protocol.run_swap` (§4.5 hashkeys) every party (per-vertex profile)
+single-leader    :func:`repro.core.timelocks.run_single_leader_swap`  every party (per-vertex profile)
+multiswap        :func:`repro.core.multiswap.run_multigraph_swap`     every party of the bundled run
+naive-timelock   baseline B1 — equal timeouts (the §1 anti-pattern)   every party (per-vertex profile)
+sequential-trust baseline B2 — sequential trusted transfers           every party (per-vertex profile)
+2pc              baseline B3 — trusted-coordinator two-phase commit   escrow parties (coordinator
+                                                                      keeps the uniform baseline)
+================ ==================================================== ==============================
+
+Every engine honours the scenario's ``timing`` field
+(:mod:`repro.sim.timing`: ``uniform`` — the back-compat default;
+``jittered`` — per-party seeded conforming profiles; ``stragglers`` —
+a subset violating ``reaction + action ≤ Δ``).  Timing specs are
+validated when the :class:`Scenario` is constructed and applied by the
+shared :class:`repro.sim.harness.SimulationHarness`, so a scenario that
+constructs is a scenario every engine can execute with the same timing
+semantics.
 
 Each adapter documents the ``Scenario.params`` keys it recognises and
 raises :class:`repro.errors.ScenarioError` on anything it cannot express
@@ -105,7 +115,11 @@ def _simple_digraph(engine: "Engine", scenario: Scenario) -> Digraph:
 
 
 class HerlihyEngine(Engine):
-    """§4.5 hashkey protocol on an arbitrary strongly connected digraph."""
+    """§4.5 hashkey protocol on an arbitrary strongly connected digraph.
+
+    timing: any model — profiles are drawn per vertex and applied to
+    every party's observe/act latencies.
+    """
 
     name = "herlihy"
     description = "hashkey/timelock protocol (§4.5), any leader set"
@@ -126,6 +140,7 @@ class SingleLeaderEngine(Engine):
 
     params: ``leader`` (defaults to ``scenario.leaders[0]`` or an
     automatically discovered single-vertex feedback vertex set).
+    timing: any model — per-vertex profiles, leader included.
     """
 
     name = "single-leader"
@@ -143,7 +158,12 @@ class SingleLeaderEngine(Engine):
 
 
 class MultiswapEngine(Engine):
-    """§5 multigraph extension; lifts simple digraphs to multiplicity 1."""
+    """§5 multigraph extension; lifts simple digraphs to multiplicity 1.
+
+    timing: any model — applied to the bundled simple-digraph run (a
+    vertex's profile covers all of its parallel arcs, which share every
+    state-machine input anyway).
+    """
 
     name = "multiswap"
     description = "directed-multigraph swaps (§5) via arc bundling"
@@ -167,6 +187,8 @@ class NaiveTimelockEngine(Engine):
 
     params: ``leader``, ``attacker`` (plays the last-moment reveal),
     ``timeout_multiple`` (shared deadline in Δ-multiples).
+    timing: any model — per-vertex profiles (the attacker's last-moment
+    delay is computed on top of its drawn profile).
     """
 
     name = "naive-timelock"
@@ -192,6 +214,8 @@ class SequentialTrustEngine(Engine):
 
     params: ``first_mover``, ``defectors`` (list of parties that take
     the money and run).
+    timing: any model — per-vertex profiles pace each hop of the chain
+    of trust.
     """
 
     name = "sequential-trust"
@@ -215,6 +239,8 @@ class TwoPhaseCommitEngine(Engine):
 
     params: ``byzantine_commit_only`` (arc subset the coordinator
     commits, aborting the rest), ``coordinator_crashes`` (bool).
+    timing: any model — applied to the escrow parties; the coordinator
+    (not a digraph vertex) keeps the uniform baseline profile.
     """
 
     name = "2pc"

@@ -39,6 +39,13 @@ from repro.errors import ScenarioError, UnknownStrategyError
 from repro.sim.clock import DEFAULT_DELTA
 from repro.sim.faults import Crash, CrashPoint, FaultPlan
 from repro.sim.process import DEFAULT_ACTION_FRACTION, DEFAULT_REACTION_FRACTION
+from repro.sim.timing import (
+    TimingModel,
+    is_default_timing,
+    resolve_timing,
+    timing_to_dict,
+)
+from repro.errors import TimingError
 
 # ---------------------------------------------------------------------------
 # Deviating-strategy registry (names keep scenarios serializable)
@@ -155,6 +162,12 @@ class Scenario:
     exact_limit: int = EXACT_LONGEST_PATH_LIMIT
     diam_override: int | None = None
     scheme_name: str = DEFAULT_SCHEME_NAME
+    timing: Any = None
+    """Timing-model spec (:mod:`repro.sim.timing`): ``None`` or
+    ``"uniform"`` keeps the historical per-party profile (and the
+    historical ``run_key``); ``"jittered"``/``"stragglers"`` — or a
+    ``{"kind": ..., **params}`` dict — swap in per-party seeded
+    profiles and participate in run-key hashing."""
     faults: FaultPlan = field(default_factory=FaultPlan)
     strategies: dict[Vertex, str] = field(default_factory=dict)
     params: dict[str, Any] = field(default_factory=dict)
@@ -172,6 +185,10 @@ class Scenario:
         )
         object.__setattr__(self, "strategies", dict(self.strategies))
         object.__setattr__(self, "params", _jsonify(self.params))
+        try:
+            object.__setattr__(self, "timing", timing_to_dict(self.timing))
+        except TimingError as error:
+            raise ScenarioError(str(error)) from None
         for vertex, strategy in self.strategies.items():
             if not isinstance(strategy, str):
                 raise ScenarioError(
@@ -200,7 +217,13 @@ class Scenario:
             seed=self.seed,
             exact_limit=self.exact_limit,
             diam_override=self.diam_override,
+            timing=self.timing,
         )
+
+    def timing_model(self) -> TimingModel:
+        """The resolved :class:`~repro.sim.timing.TimingModel` (uniform
+        when the field was omitted)."""
+        return resolve_timing(self.timing)
 
     def resolved_strategies(self) -> dict[Vertex, type]:
         """Strategy names resolved to party classes (hashkey engines)."""
@@ -219,7 +242,18 @@ class Scenario:
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """A JSON-compatible representation; inverse of :meth:`from_dict`."""
+        """A JSON-compatible representation; inverse of :meth:`from_dict`.
+
+        ``timing`` is omitted when unset (``None``): an unset axis
+        serializes exactly as it did before the field existed, so stored
+        entries — not just run keys — stay byte-identical.
+        """
+        data = self._to_dict_full()
+        if data["timing"] is None:
+            del data["timing"]
+        return data
+
+    def _to_dict_full(self) -> dict:
         return {
             "topology": _topology_to_dict(self.topology),
             "name": self.name,
@@ -234,6 +268,7 @@ class Scenario:
             "exact_limit": self.exact_limit,
             "diam_override": self.diam_override,
             "scheme_name": self.scheme_name,
+            "timing": self.timing,
             "faults": _faults_to_dict(self.faults),
             "strategies": dict(self.strategies),
             "params": self.params,
@@ -242,14 +277,19 @@ class Scenario:
     def canonical_dict(self) -> dict:
         """The content of this scenario, normalised for hashing.
 
-        Differs from :meth:`to_dict` in two ways: the display ``name`` is
-        dropped (renaming a scenario does not change the run it
-        describes), and topology vertices/arcs are sorted (matching
-        :class:`Digraph` equality, which ignores declaration order).  Not
-        an input format — use :meth:`to_dict` for round-trips.
+        Differs from :meth:`to_dict` in three ways: the display ``name``
+        is dropped (renaming a scenario does not change the run it
+        describes), topology vertices/arcs are sorted (matching
+        :class:`Digraph` equality, which ignores declaration order), and
+        default (uniform) ``timing`` is dropped — a scenario that never
+        named a timing model hashes exactly as it did before the field
+        existed, so pre-timing run stores stay warm.  Not an input
+        format — use :meth:`to_dict` for round-trips.
         """
-        data = self.to_dict()
+        data = self._to_dict_full()
         del data["name"]
+        if is_default_timing(data["timing"]):
+            del data["timing"]
         topology = data["topology"]
         topology["vertices"] = sorted(topology["vertices"])
         topology["arcs"] = sorted(topology["arcs"])

@@ -24,11 +24,11 @@ from dataclasses import dataclass
 from repro.chain.blockchain import Blockchain
 from repro.chain.ledger import Record
 from repro.chain.network import ChainNetwork
-from repro.core.protocol import SwapConfig, SwapResult, collect_result
+from repro.core.protocol import SwapConfig, SwapResult
 from repro.digraph.digraph import Arc, Digraph, Vertex
-from repro.digraph.paths import is_strongly_connected
-from repro.errors import AssetError, NotStronglyConnectedError, SimulationError
+from repro.errors import AssetError, SimulationError
 from repro.sim import trace as tr
+from repro.sim.harness import SimulationHarness
 from repro.sim.process import Process, ReactionProfile
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Trace
@@ -127,56 +127,34 @@ def _run_sequential_trust_swap(
     """
     config = config or SwapConfig()
     defectors = defectors or set()
-    if not is_strongly_connected(digraph):
-        raise NotStronglyConnectedError("baseline still needs a strongly connected swap")
+    harness = SimulationHarness.for_config(
+        digraph,
+        config,
+        include_broadcast=False,
+        connectivity_message="baseline still needs a strongly connected swap",
+    )
     for v in defectors:
         if not digraph.has_vertex(v):
             raise SimulationError(f"unknown defector {v!r}")
     if first_mover is None:
         first_mover = digraph.vertices[0]
 
-    network = ChainNetwork.for_digraph(digraph, include_broadcast=False)
-    network.register_arc_assets(digraph, now=0)
-    scheduler = Scheduler()
-    trace = Trace()
-    profile = ReactionProfile.fractions(
-        config.delta, config.reaction_fraction, config.action_fraction
-    )
-    parties = {
-        v: SequentialParty(
-            name=v,
+    parties = harness.build_parties(
+        lambda vertex, profile: SequentialParty(
+            name=vertex,
             digraph=digraph,
-            network=network,
-            trace=trace,
-            scheduler=scheduler,
+            network=harness.network,
+            trace=harness.trace,
+            scheduler=harness.scheduler,
             profile=profile,
-            is_first_mover=v == first_mover,
-            defects=v in defectors,
+            is_first_mover=vertex == first_mover,
+            defects=vertex in defectors,
         )
-        for v in digraph.vertices
-    }
-
-    relevant: dict[str, list[SequentialParty]] = {}
-    for arc in digraph.arcs:
-        chain = network.chain_for_arc(arc)
-        head, tail = arc
-        relevant.setdefault(chain.chain_id, []).extend([parties[head], parties[tail]])
-
-    def on_record(chain: Blockchain, record: Record, now: int) -> None:
-        for party in relevant.get(chain.chain_id, ()):
-            if not party.is_halted:
-                party.wake_after(
-                    party.profile.reaction_delay,
-                    lambda p=party, c=chain, r=record, t=now: p.on_chain_record(c, r, t),
-                    label=f"{party.address}:observe",
-                )
-
-    network.subscribe_all(on_record)
+    )
+    harness.wire_observations()
 
     start = config.resolved_start()
-    for vertex, party in parties.items():
-        scheduler.at(start, lambda p=party: p.start(), label=f"{vertex}:start")
-    events = scheduler.run()
+    events = harness.run_to_quiescence(start)
 
     spec = BaselineSpec(
         digraph=digraph,
@@ -185,14 +163,10 @@ def _run_sequential_trust_swap(
         delta=config.delta,
         diam=len(digraph.vertices) - 1,
     )
-    conforming = frozenset(v for v in digraph.vertices if v not in defectors)
-    return collect_result(
+    return harness.collect(
         spec=spec,
         config=config,
-        network=network,
-        trace=trace,
-        parties=parties,
-        conforming=conforming,
+        conforming=frozenset(v for v in digraph.vertices if v not in defectors),
         events_fired=events,
     )
 

@@ -27,17 +27,16 @@ from repro.chain.blockchain import Blockchain
 from repro.chain.contracts import Contract
 from repro.chain.ledger import Record
 from repro.chain.network import ChainNetwork
-from repro.core.protocol import SwapConfig, SwapResult, collect_result
+from repro.core.protocol import SwapConfig, SwapResult
 from repro.digraph.digraph import Arc, Digraph, Vertex
-from repro.digraph.paths import is_strongly_connected
 from repro.errors import (
     AssetError,
     AuthorizationError,
     ContractError,
     ContractStateError,
-    NotStronglyConnectedError,
 )
 from repro.sim import trace as tr
+from repro.sim.harness import SimulationHarness
 from repro.sim.process import Process, ReactionProfile
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Trace
@@ -278,63 +277,40 @@ def _run_two_phase_commit_swap(
     path (everyone refunds; NoDeal).
     """
     config = config or SwapConfig()
-    if not is_strongly_connected(digraph):
-        raise NotStronglyConnectedError("baseline still needs a strongly connected swap")
+    harness = SimulationHarness.for_config(
+        digraph,
+        config,
+        include_broadcast=False,
+        connectivity_message="baseline still needs a strongly connected swap",
+    )
     start = config.resolved_start()
     timeout = start + 4 * config.delta
 
-    network = ChainNetwork.for_digraph(digraph, include_broadcast=False)
-    assets = network.register_arc_assets(digraph, now=0)
-    scheduler = Scheduler()
-    trace = Trace()
-    profile = ReactionProfile.fractions(
-        config.delta, config.reaction_fraction, config.action_fraction
-    )
-    parties = {
-        v: EscrowParty(
-            name=v,
+    parties = harness.build_parties(
+        lambda vertex, profile: EscrowParty(
+            name=vertex,
             digraph=digraph,
-            network=network,
-            assets=assets,
-            trace=trace,
-            scheduler=scheduler,
+            network=harness.network,
+            assets=harness.assets,
+            trace=harness.trace,
+            scheduler=harness.scheduler,
             profile=profile,
             timeout=timeout,
         )
-        for v in digraph.vertices
-    }
+    )
+    # The coordinator is not a digraph vertex, so timing models (which
+    # assign per-party profiles) leave it at the uniform baseline.
     coordinator = Coordinator(
         digraph=digraph,
-        network=network,
-        trace=trace,
-        scheduler=scheduler,
-        profile=profile,
+        network=harness.network,
+        trace=harness.trace,
+        scheduler=harness.scheduler,
+        profile=harness.base_profile,
         commit_only=byzantine_commit_only,
         crash_before_decide=coordinator_crashes,
     )
-
-    watchers: dict[str, list[Process]] = {}
-    for arc in digraph.arcs:
-        chain = network.chain_for_arc(arc)
-        head, tail = arc
-        watchers.setdefault(chain.chain_id, []).extend(
-            [parties[head], parties[tail], coordinator]
-        )
-
-    def on_record(chain: Blockchain, record: Record, now: int) -> None:
-        for watcher in watchers.get(chain.chain_id, ()):
-            if watcher.is_halted:
-                continue
-            watcher.wake_after(
-                watcher.profile.reaction_delay,
-                lambda w=watcher, c=chain, r=record, t=now: w.on_chain_record(c, r, t),  # type: ignore[attr-defined]
-                label=f"{watcher.name}:observe",
-            )
-
-    network.subscribe_all(on_record)
-    for vertex, party in parties.items():
-        scheduler.at(start, lambda p=party: p.start(), label=f"{vertex}:start")
-    events = scheduler.run()
+    harness.wire_observations(extra_watchers=(coordinator,))
+    events = harness.run_to_quiescence(start)
 
     spec = TwoPhaseCommitSpec(
         digraph=digraph,
@@ -343,14 +319,10 @@ def _run_two_phase_commit_swap(
         delta=config.delta,
         diam=1,
     )
-    conforming = frozenset(digraph.vertices)
-    return collect_result(
+    return harness.collect(
         spec=spec,
         config=config,
-        network=network,
-        trace=trace,
-        parties=parties,
-        conforming=conforming,
+        conforming=frozenset(digraph.vertices),
         events_fired=events,
     )
 

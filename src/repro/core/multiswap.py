@@ -22,6 +22,11 @@ contract triggered.  (A deployment would publish one contract per keyed
 arc on its own chain; since all parallel contracts share every input of
 their state machines, their states coincide step for step — the bundle is
 an execution-level optimisation, not a semantic change.)
+
+Timing models ride along for free: the scenario's ``config.timing``
+reaches the underlying :class:`SwapSimulation` (and so the shared
+harness), and per-vertex profiles apply uniformly to all of a party's
+parallel arcs.
 """
 
 from __future__ import annotations

@@ -1,11 +1,13 @@
 """End-to-end swap execution: build, wire, run, classify.
 
-:class:`SwapSimulation` assembles everything one atomic swap needs —
-chains, keys, secrets, the spec, and one party process per vertex — wires
-chain records to delayed party observations, runs the discrete-event loop
-to quiescence, and returns a :class:`SwapResult` with the triggered/
-refunded arc sets, per-party outcomes (Fig. 3), timing, and byte-level
-metrics for the complexity theorems.
+:class:`SwapSimulation` is a thin configuration of the shared
+:class:`repro.sim.harness.SimulationHarness`: it provisions what is
+specific to the hashkey protocol — leaders, keys, secrets, the §4.2
+spec, and one :class:`SwapParty` per vertex — while the harness owns the
+chains, the observation wiring, the timing-model profiles, and the
+run-to-quiescence loop.  The result is a :class:`SwapResult` with the
+triggered/refunded arc sets, per-party outcomes (Fig. 3), timing, and
+byte-level metrics for the complexity theorems.
 
 Usage::
 
@@ -19,8 +21,8 @@ Deviations are injected via ``faults`` (crash schedules) and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.outcomes import (
     ACCEPTABLE_OUTCOMES,
@@ -28,28 +30,28 @@ from repro.analysis.outcomes import (
     classify_all,
 )
 from repro.chain.assets import Asset
-from repro.chain.blockchain import Blockchain
-from repro.chain.ledger import Record
-from repro.chain.network import BROADCAST_CHAIN_ID, ChainNetwork
-from repro.core.contract import SwapContract
+from repro.chain.network import ChainNetwork
 from repro.core.party import SwapParty
 from repro.core.spec import SwapSpec, compute_diameter_for_spec
-from repro.crypto.hashing import hash_secret, sha256
-from repro.crypto.keys import KeyDirectory, KeyPair
+from repro.crypto.hashing import hash_secret
 from repro.crypto.signatures import DEFAULT_SCHEME_NAME, get_scheme
 from repro.digraph.digraph import Arc, Digraph, Vertex
 from repro.digraph.feedback import feedback_vertex_set
-from repro.digraph.paths import EXACT_LONGEST_PATH_LIMIT, is_strongly_connected
-from repro.errors import NotStronglyConnectedError, SignatureError, SimulationError
+from repro.digraph.paths import EXACT_LONGEST_PATH_LIMIT
+from repro.errors import SignatureError, SimulationError
 from repro.sim import trace as tr
 from repro.sim.clock import DEFAULT_DELTA
 from repro.sim.faults import FaultPlan
+from repro.sim.harness import (
+    SimulationHarness,
+    derive_secret,
+    provision_keypairs,
+)
 from repro.sim.process import (
     DEFAULT_ACTION_FRACTION,
     DEFAULT_REACTION_FRACTION,
     ReactionProfile,
 )
-from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Trace
 
 StrategySpec = type[SwapParty] | tuple[type[SwapParty], dict[str, Any]]
@@ -78,6 +80,11 @@ class SwapConfig:
     exact_limit: int = EXACT_LONGEST_PATH_LIMIT
     diam_override: int | None = None
     """Force a ``diam`` value (safe if >= the true diameter)."""
+    timing: Any = None
+    """Timing-model spec (``None``/``"uniform"``/``"jittered"``/
+    ``"stragglers"`` or a ``{"kind": ..., **params}`` dict) — see
+    :mod:`repro.sim.timing`.  ``None`` keeps the historical uniform
+    profile, making old configs behave identically."""
 
     def resolved_start(self) -> int:
         return self.start_time if self.start_time is not None else self.delta
@@ -190,13 +197,22 @@ class SwapSimulation:
         self.config = config or SwapConfig()
         self.faults = faults or FaultPlan.none()
         self.strategies = strategies or {}
-        if not is_strongly_connected(digraph):
-            raise NotStronglyConnectedError(
+        self.harness = SimulationHarness.for_config(
+            digraph,
+            self.config,
+            include_broadcast=True,
+            asset_values=asset_values,
+            connectivity_message=(
                 "SwapSimulation requires a strongly connected digraph "
                 "(Theorem 3.5; see repro.analysis.attacks for the "
                 "impossibility constructions)"
-            )
+            ),
+        )
         self.digraph = digraph
+        self.network = self.harness.network
+        self.assets: dict[Arc, Asset] = self.harness.assets
+        self.scheduler = self.harness.scheduler
+        self.trace: Trace = self.harness.trace
 
         for vertex in self.strategies:
             if not digraph.has_vertex(vertex):
@@ -223,15 +239,11 @@ class SwapSimulation:
                 "single-leader digraph"
             )
         self.scheme = scheme
-        directory = KeyDirectory()
-        self.keypairs: dict[Vertex, KeyPair] = {}
-        for vertex in digraph.vertices:
-            key_seed = sha256(f"keyseed:{self.config.seed}:{vertex}".encode())
-            keypair = scheme.keygen(seed=key_seed).renamed(vertex)
-            directory.register(keypair)
-            self.keypairs[vertex] = keypair
+        directory, self.keypairs = provision_keypairs(
+            scheme, digraph.vertices, self.config.seed
+        )
         self.secrets: dict[Vertex, bytes] = {
-            leader: sha256(f"secret:{self.config.seed}:{leader}".encode())
+            leader: derive_secret("secret", self.config.seed, leader)
             for leader in self.leaders
         }
         hashlocks = tuple(hash_secret(self.secrets[l]) for l in self.leaders)
@@ -255,44 +267,27 @@ class SwapSimulation:
             broadcast_unlock_enabled=self.config.use_broadcast,
         )
 
-        # -- chains and assets ------------------------------------------------------
-        self.network = ChainNetwork.for_digraph(digraph, include_broadcast=True)
-        value_of = None
-        if asset_values is not None:
-            value_of = lambda arc: asset_values.get(arc, 1)  # noqa: E731
-        self.assets: dict[Arc, Asset] = self.network.register_arc_assets(
-            digraph, now=0, value_of=value_of
-        )
+        # -- parties (profiles come from the scenario's timing model) ---------
+        explicit_profiles = profiles or {}
 
-        # -- simulation engine ---------------------------------------------------------
-        self.scheduler = Scheduler()
-        self.trace = Trace()
-        default_profile = ReactionProfile.fractions(
-            self.config.delta,
-            self.config.reaction_fraction,
-            self.config.action_fraction,
-        )
-        profiles = profiles or {}
-
-        self.parties: dict[Vertex, SwapParty] = {}
-        for vertex in digraph.vertices:
+        def build_party(vertex: Vertex, profile: ReactionProfile) -> SwapParty:
             cls, extra = self._resolve_strategy(vertex)
-            party = cls(
+            return cls(
                 keypair=self.keypairs[vertex],
                 spec=self.spec,
                 network=self.network,
                 assets=self.assets,
                 trace=self.trace,
                 scheduler=self.scheduler,
-                profile=profiles.get(vertex, default_profile),
+                profile=explicit_profiles.get(vertex, profile),
                 secret=self.secrets.get(vertex),
                 use_broadcast=self.config.use_broadcast,
                 **extra,
             )
-            self.parties[vertex] = party
 
-        self._install_faults()
-        self._wire_observations()
+        self.parties: dict[Vertex, SwapParty] = self.harness.build_parties(build_party)
+        self.harness.install_faults(self.faults)
+        self.harness.wire_observations(broadcast_to_all=True)
         self._ran = False
 
     # -- construction helpers --------------------------------------------------------
@@ -306,43 +301,6 @@ class SwapSimulation:
             return cls, dict(extra)
         return entry, {}
 
-    def _install_faults(self) -> None:
-        for vertex, crash in self.faults.crashes.items():
-            party = self.parties[vertex]
-            party.crash_plan = crash
-            if crash.at_time is not None:
-                when = crash.at_time
-
-                def crash_now(p: SwapParty = party, t: int = when) -> None:
-                    if not p.is_halted:
-                        p.halt()
-                        self.trace.record(t, tr.PARTY_CRASHED, p.address, at_time=t)
-
-                self.scheduler.at(when, crash_now, label=f"{vertex}:crash")
-
-    def _wire_observations(self) -> None:
-        """Chain records become delayed observations for relevant parties."""
-        relevant: dict[str, list[SwapParty]] = {}
-        for arc in self.digraph.arcs:
-            chain = self.network.chain_for_arc(arc)
-            head, tail = arc
-            relevant.setdefault(chain.chain_id, []).extend(
-                [self.parties[head], self.parties[tail]]
-            )
-        relevant[BROADCAST_CHAIN_ID] = list(self.parties.values())
-
-        def on_record(chain: Blockchain, record: Record, now: int) -> None:
-            for party in relevant.get(chain.chain_id, ()):
-                if party.is_halted:
-                    continue
-                party.wake_after(
-                    party.profile.reaction_delay,
-                    lambda p=party, c=chain, r=record, t=now: p.on_chain_record(c, r, t),
-                    label=f"{party.address}:observe",
-                )
-
-        self.network.subscribe_all(on_record)
-
     # -- running ------------------------------------------------------------------------
 
     def run(self) -> SwapResult:
@@ -350,13 +308,7 @@ class SwapSimulation:
         if self._ran:
             raise SimulationError("a SwapSimulation instance runs once")
         self._ran = True
-        for vertex, party in self.parties.items():
-            self.scheduler.at(
-                self.spec.start_time,
-                lambda p=party: None if p.is_halted else p.start(),
-                label=f"{vertex}:start",
-            )
-        events = self.scheduler.run()
+        events = self.harness.run_to_quiescence(self.spec.start_time)
         return self._collect(events)
 
     def _collect(self, events_fired: int) -> SwapResult:
@@ -365,12 +317,9 @@ class SwapSimulation:
             for v in self.digraph.vertices
             if type(self.parties[v]) is SwapParty and v not in self.faults.crashes
         )
-        return collect_result(
+        return self.harness.collect(
             spec=self.spec,
             config=self.config,
-            network=self.network,
-            trace=self.trace,
-            parties=self.parties,
             conforming=conforming,
             events_fired=events_fired,
         )

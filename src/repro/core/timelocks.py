@@ -24,7 +24,7 @@ attack that motivates hashkeys (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.chain.assets import Asset
@@ -32,8 +32,8 @@ from repro.chain.blockchain import Blockchain
 from repro.chain.contracts import Contract
 from repro.chain.ledger import Record
 from repro.chain.network import ChainNetwork
-from repro.core.protocol import SwapConfig, SwapResult, collect_result
-from repro.crypto.hashing import hash_secret, matches, sha256
+from repro.core.protocol import SwapConfig, SwapResult
+from repro.crypto.hashing import hash_secret, matches
 from repro.digraph.digraph import Arc, Digraph, Vertex
 from repro.digraph.paths import (
     diameter,
@@ -52,6 +52,7 @@ from repro.errors import (
 )
 from repro.sim import trace as tr
 from repro.sim.faults import CrashPoint, FaultPlan
+from repro.sim.harness import SimulationHarness, derive_secret
 from repro.sim.process import Process, ReactionProfile
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Trace
@@ -556,9 +557,17 @@ class SingleLeaderSimulation:
         self.config = config or SwapConfig()
         self.faults = faults or FaultPlan.none()
         self.strategies = strategies or {}
-        if not is_strongly_connected(digraph):
-            raise NotStronglyConnectedError("swap digraphs must be strongly connected")
+        self.harness = SimulationHarness.for_config(
+            digraph,
+            self.config,
+            include_broadcast=False,
+            connectivity_message="swap digraphs must be strongly connected",
+        )
         self.digraph = digraph
+        self.network = self.harness.network
+        self.assets = self.harness.assets
+        self.scheduler = self.harness.scheduler
+        self.trace = self.harness.trace
         start = self.config.resolved_start()
 
         if leader is None:
@@ -570,7 +579,7 @@ class SingleLeaderSimulation:
                 digraph, leader, self.config.delta, start, self.config.exact_limit
             )
         diam = diameter(digraph, exact_limit=self.config.exact_limit)
-        secret = sha256(f"sl-secret:{self.config.seed}:{leader}".encode())
+        secret = derive_secret("sl-secret", self.config.seed, leader)
         self.secret = secret
         self.spec = SingleLeaderSpec(
             digraph=digraph,
@@ -582,16 +591,7 @@ class SingleLeaderSimulation:
             diam=diam,
         )
 
-        self.network = ChainNetwork.for_digraph(digraph, include_broadcast=False)
-        self.assets = self.network.register_arc_assets(digraph, now=0)
-        self.scheduler = Scheduler()
-        self.trace = Trace()
-        profile = ReactionProfile.fractions(
-            self.config.delta, self.config.reaction_fraction, self.config.action_fraction
-        )
-
-        self.parties: dict[Vertex, SingleLeaderParty] = {}
-        for vertex in digraph.vertices:
+        def build_party(vertex: Vertex, profile: ReactionProfile) -> SingleLeaderParty:
             entry = self.strategies.get(vertex)
             if entry is None:
                 cls, extra = party_class, {}
@@ -599,7 +599,7 @@ class SingleLeaderSimulation:
                 cls, extra = entry[0], dict(entry[1])
             else:
                 cls, extra = entry, {}
-            self.parties[vertex] = cls(
+            return cls(
                 name=vertex,
                 spec=self.spec,
                 network=self.network,
@@ -611,62 +611,27 @@ class SingleLeaderSimulation:
                 **extra,
             )
 
-        for vertex, crash in self.faults.crashes.items():
-            party = self.parties[vertex]
-            party.crash_plan = crash
-            if crash.at_time is not None:
-
-                def crash_now(p=party, t=crash.at_time) -> None:
-                    if not p.is_halted:
-                        p.halt()
-                        self.trace.record(t, tr.PARTY_CRASHED, p.address, at_time=t)
-
-                self.scheduler.at(crash.at_time, crash_now, label=f"{vertex}:crash")
-
-        relevant: dict[str, list[SingleLeaderParty]] = {}
-        for arc in digraph.arcs:
-            chain = self.network.chain_for_arc(arc)
-            head, tail = arc
-            relevant.setdefault(chain.chain_id, []).extend(
-                [self.parties[head], self.parties[tail]]
-            )
-
-        def on_record(chain: Blockchain, record: Record, now: int) -> None:
-            for party in relevant.get(chain.chain_id, ()):
-                if party.is_halted:
-                    continue
-                party.wake_after(
-                    party.profile.reaction_delay,
-                    lambda p=party, c=chain, r=record, t=now: p.on_chain_record(c, r, t),
-                    label=f"{party.address}:observe",
-                )
-
-        self.network.subscribe_all(on_record)
+        self.parties: dict[Vertex, SingleLeaderParty] = self.harness.build_parties(
+            build_party
+        )
+        self.harness.install_faults(self.faults)
+        self.harness.wire_observations()
         self._ran = False
 
     def run(self) -> SwapResult:
         if self._ran:
             raise SimulationError("a SingleLeaderSimulation instance runs once")
         self._ran = True
-        for vertex, party in self.parties.items():
-            self.scheduler.at(
-                self.spec.start_time,
-                lambda p=party: None if p.is_halted else p.start(),
-                label=f"{vertex}:start",
-            )
-        events = self.scheduler.run()
+        events = self.harness.run_to_quiescence(self.spec.start_time)
         conforming = frozenset(
             v
             for v in self.digraph.vertices
             if type(self.parties[v]) is SingleLeaderParty
             and v not in self.faults.crashes
         )
-        return collect_result(
+        return self.harness.collect(
             spec=self.spec,
             config=self.config,
-            network=self.network,
-            trace=self.trace,
-            parties=self.parties,
             conforming=conforming,
             events_fired=events,
         )

@@ -10,6 +10,9 @@ deterministic.  The families used by the benchmarks:
   digraph on three parties);
 * :func:`random_strongly_connected` — a random Hamiltonian cycle plus
   random chords, the generic strongly connected workload;
+* :func:`powerlaw_strongly_connected` — Hamiltonian cycle plus
+  Zipf-weighted extra arcs: heavy-tailed in/out degrees with hub
+  vertices (the ``repro.lab`` ``power-law`` family);
 * :func:`petal_digraph` — ``k`` cycles sharing one vertex (single-leader
   with high diameter);
 * :func:`two_cycles_sharing_vertex` — the smallest interesting theta-like
@@ -118,6 +121,67 @@ def random_strongly_connected(
             if rng.random() < extra_arc_probability:
                 arcs.append((u, v))
                 arc_set.add((u, v))
+    return Digraph(names, arcs)
+
+
+def powerlaw_strongly_connected(
+    n: int,
+    exponent: float = 2.2,
+    extra_arcs: int | None = None,
+    rng: Random | None = None,
+    prefix: str = "P",
+) -> Digraph:
+    """A strongly connected digraph with heavy-tailed in/out degrees.
+
+    Construction: a random Hamiltonian cycle guarantees strong
+    connectivity, then ``extra_arcs`` additional arcs (default ``2n``)
+    are drawn with Zipf-like endpoint weights — the vertex of rank ``r``
+    in a shuffled out-ranking gets tail weight ``(r+1)^-exponent``, and
+    an *independent* in-ranking weights the heads — so a few hub
+    vertices collect most of the extra arcs in both directions.  This
+    is the ROADMAP's heavy-tailed family: hubs push the feedback-
+    vertex-set and longest-path machinery far from the paper's regular
+    topologies while every digraph stays a valid swap instance.
+
+    Deterministic in ``rng``: the same seeded :class:`random.Random`
+    always yields the same digraph.
+    """
+    if n < 2:
+        raise DigraphError("need at least two vertices")
+    if exponent <= 0:
+        raise DigraphError("power-law exponent must be positive")
+    if extra_arcs is not None and extra_arcs < 0:
+        raise DigraphError("extra_arcs must be non-negative")
+    rng = rng if rng is not None else Random()
+    names = _names(n, prefix)
+
+    order = list(names)
+    rng.shuffle(order)
+    arcs: list[Arc] = [(order[i], order[(i + 1) % n]) for i in range(n)]
+    arc_set = set(arcs)
+
+    out_rank = list(names)
+    rng.shuffle(out_rank)
+    in_rank = list(names)
+    rng.shuffle(in_rank)
+    out_weights = [(r + 1) ** -exponent for r in range(n)]
+    in_weights = [(r + 1) ** -exponent for r in range(n)]
+
+    target = 2 * n if extra_arcs is None else extra_arcs
+    # A dense weight distribution can exhaust the distinct arcs it
+    # favours; the attempt cap keeps generation total either way.
+    attempts = 0
+    added = 0
+    max_attempts = 20 * max(1, target)
+    while added < target and attempts < max_attempts:
+        attempts += 1
+        (u,) = rng.choices(out_rank, weights=out_weights)
+        (v,) = rng.choices(in_rank, weights=in_weights)
+        if u == v or (u, v) in arc_set:
+            continue
+        arcs.append((u, v))
+        arc_set.add((u, v))
+        added += 1
     return Digraph(names, arcs)
 
 

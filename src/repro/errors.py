@@ -192,3 +192,8 @@ class SimulationError(ReproError):
 
 class SchedulerError(SimulationError):
     """Events were scheduled in the past or after the horizon."""
+
+
+class TimingError(SimulationError):
+    """A timing model was malformed (unknown kind, bad params, or a
+    profile that contradicts the model's own conformity contract)."""

@@ -44,17 +44,21 @@ from repro.lab.analytics import (
     parse_lab_name,
     percentile,
     stats_payload,
+    timing_of,
 )
 from repro.lab.registry import (
     get_family,
     get_mix,
     get_preset,
+    get_timing,
     list_families,
     list_mixes,
     list_presets,
+    list_timings,
     register_family,
     register_mix,
     register_preset,
+    register_timing,
 )
 from repro.lab.store import (
     JsonlStore,
@@ -65,6 +69,7 @@ from repro.lab.store import (
 )
 from repro.lab.workloads import (
     AdversaryMix,
+    TimingProfile,
     TopologyFamily,
     Workload,
     build_sweep,
@@ -86,7 +91,9 @@ __all__ = [
     "parse_lab_name",
     "percentile",
     "stats_payload",
+    "timing_of",
     "AdversaryMix",
+    "TimingProfile",
     "TopologyFamily",
     "Workload",
     "build_sweep",
@@ -95,12 +102,15 @@ __all__ = [
     "get_family",
     "get_mix",
     "get_preset",
+    "get_timing",
     "list_families",
     "list_mixes",
     "list_presets",
+    "list_timings",
     "register_family",
     "register_mix",
     "register_preset",
+    "register_timing",
     "JsonlStore",
     "MemoryStore",
     "RunStore",

@@ -12,11 +12,13 @@ engine".  This module answers that:
   rows *without* reconstructing scenarios or topologies — group-by keys
   come from the structured ``lab:`` scenario-name convention
   (``lab:<family>:<params>:<mix>:<engine>#<i>``, see
-  :func:`repro.lab.workloads.build_sweep`) via :func:`parse_lab_name`;
+  :func:`repro.lab.workloads.build_sweep`) via :func:`parse_lab_name`,
+  except ``timing``, which reads the scenario's canonical ``timing``
+  field (:func:`timing_of`) so pre-timing entries group as ``uniform``;
 * :func:`dimensions` enumerates the distinct values each group-by
   dimension takes across a store;
 * :func:`aggregate` groups facts by any subset of
-  ``engine``/``family``/``mix``/``params`` and emits
+  ``engine``/``family``/``mix``/``params``/``timing`` and emits
   :class:`GroupStats` — run counts, all-Deal rate, Theorem-4.9 safety
   rate, mean/percentile completion time, mean stored bytes, total wall
   time, and a failure taxonomy keyed by ``error_type``;
@@ -39,7 +41,7 @@ from repro.errors import LabError
 from repro.lab.store import RunStore
 
 #: The group-by dimensions every stored run exposes.
-DIMENSIONS = ("engine", "family", "mix", "params")
+DIMENSIONS = ("engine", "family", "mix", "params", "timing")
 
 _ACCEPTABLE_VALUES = frozenset(o.value for o in ACCEPTABLE_OUTCOMES)
 _DEAL = Outcome.DEAL.value
@@ -118,6 +120,7 @@ class RunFacts:
     family: str
     params: str
     mix: str
+    timing: str
     ok: bool
     error_type: str | None
     all_deal: bool | None
@@ -127,17 +130,35 @@ class RunFacts:
     wall_seconds: float | None
 
 
+def timing_of(scenario: dict) -> str:
+    """The timing-model kind of one serialized scenario dict.
+
+    Reads the scenario's canonical ``timing`` field rather than the
+    display name, so hand-built scenarios group correctly too; entries
+    recorded before the field existed (or with it omitted) are exactly
+    the historical uniform behaviour and group as ``"uniform"``.
+    """
+    spec = scenario.get("timing")
+    if spec is None:
+        return "uniform"
+    if isinstance(spec, str):
+        return spec
+    return spec.get("kind", "uniform")
+
+
 def entry_facts(key: str, entry: dict) -> RunFacts:
     """Flatten one stored entry dict into :class:`RunFacts`."""
     if entry.get("ok"):
         report = entry["report"]
         outcomes: dict[str, str] = report.get("outcomes", {})
         conforming = report.get("conforming", ())
-        name = report.get("scenario", {}).get("name", "")
+        scenario = report.get("scenario", {})
+        name = scenario.get("name", "")
         return RunFacts(
             key=key,
             engine=report.get("engine", "?"),
             scenario_name=name,
+            timing=timing_of(scenario),
             ok=True,
             error_type=None,
             all_deal=all(o == _DEAL for o in outcomes.values()),
@@ -149,11 +170,13 @@ def entry_facts(key: str, entry: dict) -> RunFacts:
             wall_seconds=report.get("wall_seconds"),
             **parse_lab_name(name),
         )
-    name = entry.get("scenario", {}).get("name", "")
+    scenario = entry.get("scenario", {})
+    name = scenario.get("name", "")
     return RunFacts(
         key=key,
         engine=entry.get("engine", "?"),
         scenario_name=name,
+        timing=timing_of(scenario),
         ok=False,
         error_type=entry.get("error_type", "?"),
         all_deal=None,

@@ -9,10 +9,11 @@ Subcommands::
     lab show      print one stored run by key prefix (--json for raw)
     lab diff      field-by-field comparison of two stored runs
     lab stats     cross-sweep aggregates (rates, percentiles, failure
-                  taxonomy) grouped by engine/family/mix
+                  taxonomy) grouped by engine/family/mix/timing
     lab merge     absorb shard stores into one (newest record wins)
     lab families  the registered topology families and their params
     lab mixes     the registered adversary mixes
+    lab timings   the registered timing profiles
     lab presets   the bundled workload presets
 
 Examples::
@@ -20,10 +21,12 @@ Examples::
     python -m repro lab run --preset smoke
     python -m repro lab run --family erdos-renyi --grid n=6,8 p=0.2 \\
         --mix all-conforming --mix phase-crash --engine herlihy
+    python -m repro lab run --preset smoke --timing jittered
     python -m repro lab ls
     python -m repro lab show 3f2a
     python -m repro lab diff 3f2a 9c41
     python -m repro lab stats --by engine,mix
+    python -m repro lab stats --by timing
     python -m repro lab stats --compare herlihy naive-timelock --json
     python -m repro lab merge all.sqlite shard1.jsonl shard2.sqlite
 
@@ -37,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -57,9 +61,11 @@ from repro.lab.registry import (
     get_family,
     get_mix,
     get_preset,
+    get_timing,
     list_families,
     list_mixes,
     list_presets,
+    list_timings,
 )
 from repro.lab.store import JsonlStore, RunStore, _entry_identity, open_store
 from repro.lab.workloads import Workload, build_sweep
@@ -157,6 +163,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         title = f"family:{args.family}"
     else:
         raise LabError("lab run needs --preset or --family")
+    if args.timing:
+        # Like --seed, --timing replaces every workload's timing axis
+        # (names validated up front so typos fail before any engine runs).
+        for name in args.timing:
+            get_timing(name)
+        workloads = [
+            replace(w, timings=tuple(args.timing)) for w in workloads
+        ]
     # --seed replaces every workload's seed; unset keeps their defaults.
     sweep = build_sweep(workloads, name=title, base_seed=args.seed)
     if args.no_store:
@@ -289,7 +303,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     by = tuple(dim for dim in args.by.split(",") if dim)
     if not by:
         raise LabError(
-            "--by needs at least one of engine, family, mix, params"
+            "--by needs at least one of engine, family, mix, params, timing"
         )
     if args.compare and args.engine:
         # Filtering would silently zero one side of the head-to-head.
@@ -391,6 +405,18 @@ def _cmd_mixes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timings(args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_timings():
+        profile = get_timing(name)
+        spec = "-" if profile.spec is None else json.dumps(
+            profile.spec, sort_keys=True
+        )
+        rows.append([name, spec, profile.description])
+    print(_format_rows(["timing", "spec", "description"], rows))
+    return 0
+
+
 def _cmd_presets(args: argparse.Namespace) -> int:
     rows = []
     for name in list_presets():
@@ -433,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mix", action="append", help="adversary mix (repeatable)")
     run.add_argument("--engine", action="append", help="engine (repeatable)")
     run.add_argument(
+        "--timing", action="append",
+        help="timing profile (repeatable; see `lab timings`) — replaces "
+             "every workload's timing axis",
+    )
+    run.add_argument(
         "--seed", type=int, default=None,
         help="replace every workload's seed (re-rolls topologies and mixes)",
     )
@@ -466,7 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="cross-sweep aggregates")
     stats.add_argument(
         "--by", default="engine", metavar="DIM[,DIM...]",
-        help="group-by dimensions: engine, family, mix, params "
+        help="group-by dimensions: engine, family, mix, params, timing "
              "(comma-separated; default engine)",
     )
     stats.add_argument(
@@ -495,6 +526,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser("mixes", help="list adversary mixes").set_defaults(
         func=_cmd_mixes
+    )
+    sub.add_parser("timings", help="list timing profiles").set_defaults(
+        func=_cmd_timings
     )
     sub.add_parser("presets", help="list workload presets").set_defaults(
         func=_cmd_presets

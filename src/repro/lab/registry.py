@@ -21,15 +21,24 @@ Built-in families (``list_families``):
 ``wheel``                 star + rim cycle (two-leader minimum FVS)
 ``petal``                 k cycles through one hub (single leader, high diam)
 ``multigraph-cycle``      §5 cycle with parallel keyed arcs
+``power-law``             heavy-tailed in/out degrees (Zipf-weighted hubs)
 ``two-coalition``         NOT strongly connected: Lemma 3.4 free-ride family
 ``chain``                 NOT strongly connected: directed path
 ========================= ==================================================
 
 Built-in adversary mixes (``list_mixes``): ``all-conforming``,
-``phase-crash``, ``last-moment``, ``free-ride``, ``timeout-attack``.
+``phase-crash``, ``last-moment``, ``free-ride``, ``timeout-attack``,
+``colluding-crash`` (phase-boundary crash + deviating strategies in one
+coalition).
+
+Built-in timing profiles (``list_timings``): ``uniform``, ``jittered``,
+``stragglers``, ``straggler-pair`` — named :mod:`repro.sim.timing`
+specs crossable with families and mixes via :attr:`Workload.timings`
+and ``lab run --timing``.
 
 Presets (``list_presets``) bundle workloads for the CLI: ``smoke``,
-``topologies``, ``adversaries``, ``impossibility``, ``scale``.
+``topologies``, ``adversaries``, ``impossibility``, ``scale``, and
+``timings`` (timing × family × mix cross).
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro.digraph.generators import (
     complete_digraph,
     cycle_digraph,
     petal_digraph,
+    powerlaw_strongly_connected,
     random_strongly_connected,
     star_digraph,
     two_coalition_digraph,
@@ -51,8 +61,10 @@ from repro.digraph.multigraph import MultiDigraph
 from repro.errors import LabError, UnknownWorkloadError
 from repro.lab.workloads import (
     AdversaryMix,
+    TimingProfile,
     TopologyFamily,
     Workload,
+    colluding_crash,
     free_ride,
     last_moment,
     no_adversary,
@@ -62,6 +74,7 @@ from repro.lab.workloads import (
 
 _FAMILIES: dict[str, TopologyFamily] = {}
 _MIXES: dict[str, AdversaryMix] = {}
+_TIMINGS: dict[str, TimingProfile] = {}
 _PRESETS: dict[str, tuple[Workload, ...]] = {}
 
 
@@ -99,6 +112,29 @@ def get_mix(name: str) -> AdversaryMix:
 
 def list_mixes() -> tuple[str, ...]:
     return tuple(sorted(_MIXES))
+
+
+def register_timing(profile: TimingProfile, replace: bool = False) -> TimingProfile:
+    if profile.name in _TIMINGS and not replace:
+        raise LabError(f"timing profile {profile.name!r} is already registered")
+    if profile.spec is not None:
+        # Fail at registration, not mid-sweep: the spec must resolve.
+        from repro.sim.timing import resolve_timing
+
+        resolve_timing(profile.spec)
+    _TIMINGS[profile.name] = profile
+    return profile
+
+
+def get_timing(name: str) -> TimingProfile:
+    try:
+        return _TIMINGS[name]
+    except KeyError:
+        raise UnknownWorkloadError("timing profile", name, tuple(_TIMINGS)) from None
+
+
+def list_timings() -> tuple[str, ...]:
+    return tuple(sorted(_TIMINGS))
 
 
 def register_preset(name: str, *workloads: Workload, replace: bool = False) -> None:
@@ -176,6 +212,15 @@ for _family in (
         {"n": 3, "copies": 2},
     ),
     TopologyFamily(
+        "power-law",
+        "heavy-tailed in/out degrees: Hamiltonian cycle + Zipf-weighted "
+        "extra arcs (hub-dominated, stresses FVS and longest paths)",
+        lambda p, rng: powerlaw_strongly_connected(
+            int(p["n"]), float(p["exponent"]), int(p["extra"]), rng
+        ),
+        {"n": 8, "exponent": 2.2, "extra": 16},
+    ),
+    TopologyFamily(
         "two-coalition",
         "NOT strongly connected: two cycles, one-way bridges (Lemma 3.4)",
         lambda p, rng: two_coalition_digraph(
@@ -225,8 +270,45 @@ for _mix in (
         "naive-timelock baseline's shared-deadline reveal (params-based)",
         timeout_attack,
     ),
+    AdversaryMix(
+        "colluding-crash",
+        "coalition: one phase-boundary crash + last-moment/free-ride "
+        "strategies in concert (the combined Thm 4.9 stressor)",
+        colluding_crash,
+    ),
 ):
     register_mix(_mix)
+
+
+# ---------------------------------------------------------------------------
+# built-in timing profiles
+# ---------------------------------------------------------------------------
+
+for _timing in (
+    TimingProfile(
+        "uniform",
+        "every party shares the configured conforming profile (default)",
+        None,
+    ),
+    TimingProfile(
+        "jittered",
+        "per-party seeded delays within the conforming Δ budget "
+        "(round trip ≤ Δ; probes the strict-deadline boundary)",
+        {"kind": "jittered"},
+    ),
+    TimingProfile(
+        "stragglers",
+        "one seeded party violates reaction+action ≤ Δ (3Δ round trip; "
+        "the regime Theorem 4.9 does not cover)",
+        {"kind": "stragglers"},
+    ),
+    TimingProfile(
+        "straggler-pair",
+        "two seeded parties violate the Δ assumption together",
+        {"kind": "stragglers", "count": 2},
+    ),
+):
+    register_timing(_timing)
 
 
 # ---------------------------------------------------------------------------
@@ -253,6 +335,8 @@ register_preset(
     Workload("wheel", {"rim": [4, 6]}),
     Workload("petal", {"petals": [2, 4]}),
     Workload("multigraph-cycle", {"n": 3, "copies": [2, 3]}, engines=("multiswap",)),
+    # Appended after the originals so their run keys never shift.
+    Workload("power-law", {"n": [8, 12]}, scenario_kwargs={"exact_limit": 10}),
 )
 
 register_preset(
@@ -261,6 +345,24 @@ register_preset(
     Workload("clique", {"n": 3}, mixes=_STRATEGY_MIXES),
     Workload("wheel", {"rim": 4}, mixes=_STRATEGY_MIXES),
     Workload("cycle", {"n": 3}, mixes=("timeout-attack",), engines=("naive-timelock",)),
+    # Appended after the originals so their run keys never shift.
+    Workload("cycle", {"n": [4, 6]}, mixes=("colluding-crash",)),
+    Workload("power-law", {"n": 8}, mixes=("colluding-crash",),
+             scenario_kwargs={"exact_limit": 10}),
+)
+
+register_preset(
+    "timings",
+    Workload("cycle", {"n": [3, 5]},
+             mixes=("all-conforming", "phase-crash"),
+             timings=("uniform", "jittered", "stragglers")),
+    Workload("wheel", {"rim": 4},
+             timings=("uniform", "jittered", "stragglers", "straggler-pair")),
+    Workload("power-law", {"n": 8},
+             timings=("uniform", "stragglers"),
+             scenario_kwargs={"exact_limit": 10}),
+    Workload("cycle", {"n": 4}, engines=("single-leader", "2pc"),
+             timings=("uniform", "jittered", "stragglers")),
 )
 
 register_preset(

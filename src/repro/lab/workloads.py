@@ -7,10 +7,15 @@ of swap digraphs (``cycle``, ``clique``, ``erdos-renyi``, ``star``,
 mix* turns one topology into scenario overrides — fault plans, deviating
 strategies, or engine params — again deterministically from a seed
 (``all-conforming``, ``phase-crash``, ``last-moment``, ``free-ride``,
-``timeout-attack``).
+``timeout-attack``, ``colluding-crash``).
+
+A *timing profile* names a :mod:`repro.sim.timing` spec (``uniform``,
+``jittered``, ``stragglers``, ...) so the paper's Δ assumption can be
+swept like any other axis.
 
 A :class:`Workload` crosses one family's parameter grid with a set of
-mixes and engines; :func:`build_sweep` expands it (or several) into a
+mixes, engines, and timing profiles; :func:`build_sweep` expands it (or
+several) into a
 :class:`repro.api.Sweep` whose scenarios are fully determined by the
 workload — the same workload always produces the same
 :func:`repro.api.sweep.run_key` for every run, which is what makes the
@@ -85,6 +90,22 @@ class AdversaryMix:
     apply: Callable[[Topology, Random], Overrides]
 
 
+@dataclass(frozen=True)
+class TimingProfile:
+    """One named timing model registered for lab workloads.
+
+    ``spec`` is the value handed to :attr:`repro.api.Scenario.timing`
+    (``None`` for the back-compat uniform default, otherwise a
+    ``{"kind": ..., **params}`` dict — see :mod:`repro.sim.timing`).
+    Registering a profile makes it crossable with families and mixes
+    via :attr:`Workload.timings` and ``lab run --timing``.
+    """
+
+    name: str
+    description: str
+    spec: dict[str, Any] | None = None
+
+
 def _sorted_parties(topology: Topology) -> list[Vertex]:
     return sorted(topology.vertices)
 
@@ -148,6 +169,35 @@ def timeout_attack(topology: Topology, rng: Random) -> Overrides:
     return {"params": {"attacker": rng.choice(_sorted_parties(topology))}}
 
 
+def colluding_crash(topology: Topology, rng: Random) -> Overrides:
+    """A coalition mixing phase-boundary crashes with deviations.
+
+    One coalition member halts at a seeded protocol milestone while the
+    rest split between the last-moment unlock and pure free-riding —
+    the strongest combined deviation a single mix can stage.  Theorem
+    4.9's claim is exactly that no such coalition (crash + arbitrary
+    deviation) can push a *conforming* party Underwater; this mix is
+    the lab's standing probe of that claim.  Coalition size is roughly
+    a third of the parties, never fewer than two (a crash alone is
+    ``phase-crash``).
+    """
+    parties = _sorted_parties(topology)
+    size = min(len(parties), max(2, len(parties) // 3 + 1))
+    coalition = rng.sample(parties, size)
+    crasher = coalition[0]
+    point = rng.choice(
+        [CrashPoint.AFTER_PHASE_ONE_PUBLISH, CrashPoint.BEFORE_PHASE_TWO]
+    )
+    strategies = {
+        member: "last-moment-unlock" if i % 2 == 0 else "greedy-claim-only"
+        for i, member in enumerate(coalition[1:])
+    }
+    return {
+        "faults": FaultPlan().crash(crasher, at_point=point),
+        "strategies": strategies,
+    }
+
+
 @dataclass(frozen=True)
 class Workload:
     """One family's parameter grid crossed with mixes and engines.
@@ -169,6 +219,12 @@ class Workload:
     scenario_kwargs: Mapping[str, Any] = field(default_factory=dict)
     """Extra :class:`Scenario` fields applied to every run (delta,
     timeout_slack, use_broadcast, ...)."""
+    timings: tuple[str, ...] = ("uniform",)
+    """Registered timing-profile names crossed into the grid (see
+    ``lab timings``).  The default single ``uniform`` entry keeps the
+    expansion — and every run key — identical to pre-timing workloads.
+    Appended after the pre-1.4 fields so positional construction keeps
+    its old meaning."""
 
     def label(self) -> str:
         return self.name or self.family
@@ -207,7 +263,7 @@ def build_sweep(
     replaces every workload's seed — this is how ``lab run --seed``
     re-rolls a whole preset.
     """
-    from repro.lab.registry import get_family, get_mix
+    from repro.lab.registry import get_family, get_mix, get_timing
 
     if isinstance(workloads, Workload):
         workloads = [workloads]
@@ -219,6 +275,7 @@ def build_sweep(
     sweep = Sweep(name, workloads[0].seed)
     for workload in workloads:
         family = get_family(workload.family)
+        timings = [get_timing(t) for t in (workload.timings or ("uniform",))]
         for combo_index, params in enumerate(expand_grid(workload.grid)):
             topology = family.generate(
                 params,
@@ -227,7 +284,8 @@ def build_sweep(
             for mix_name in workload.mixes:
                 mix = get_mix(mix_name)
                 for engine in workload.engines:
-                    index = len(sweep)
+                    # Fresh-seeded per call, so the same overrides come
+                    # out for every timing variant of this (mix, engine).
                     overrides = mix.apply(
                         topology,
                         Random(
@@ -238,19 +296,51 @@ def build_sweep(
                             )
                         ),
                     )
-                    scenario = Scenario(
-                        topology=topology,
-                        name=(
-                            f"lab:{workload.label()}:{_params_label(params)}"
-                            f":{mix_name}:{engine}#{index}"
-                        ),
-                        seed=derive_seed(workload.seed, engine, index),
-                        **_merge_kwargs(
-                            workload.scenario_kwargs, overrides, mix_name
-                        ),
-                    )
-                    sweep.add(engine, scenario)
+                    for timing in timings:
+                        index = len(sweep)
+                        # The timing tag rides on the engine segment so
+                        # parse_lab_name's right-anchored family/params/
+                        # mix fields stay where they always were.
+                        engine_label = (
+                            engine
+                            if timing.spec is None
+                            else f"{engine}@{timing.name}"
+                        )
+                        scenario = Scenario(
+                            topology=topology,
+                            name=(
+                                f"lab:{workload.label()}:{_params_label(params)}"
+                                f":{mix_name}:{engine_label}#{index}"
+                            ),
+                            seed=derive_seed(workload.seed, engine, index),
+                            **_merge_timing(
+                                _merge_kwargs(
+                                    workload.scenario_kwargs, overrides, mix_name
+                                ),
+                                timing,
+                            ),
+                        )
+                        sweep.add(engine, scenario)
     return sweep
+
+
+def _merge_timing(
+    kwargs: dict[str, Any], timing: "TimingProfile"
+) -> dict[str, Any]:
+    """Apply one timing profile's spec to merged scenario kwargs.
+
+    A workload may pin ``timing`` through ``scenario_kwargs`` *or*
+    sweep it through :attr:`Workload.timings` — both at once is a
+    contradiction the caller should hear about.
+    """
+    if timing.spec is None:
+        return kwargs  # uniform: leave the field (and the run key) alone
+    if "timing" in kwargs:
+        raise LabError(
+            f"timing profile {timing.name!r} and the workload's "
+            "scenario_kwargs both set 'timing'; drop one of them"
+        )
+    return {**kwargs, "timing": timing.spec}
 
 
 def _merge_kwargs(

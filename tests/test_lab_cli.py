@@ -224,7 +224,7 @@ class TestStats:
         assert payload["by"] == ["family", "mix"]
         assert payload["total_runs"] == 8
         assert set(payload["dimensions"]) == {"engine", "family", "mix",
-                                              "params"}
+                                              "params", "timing"}
         for group in payload["groups"]:
             assert set(group["group"]) == {"family", "mix"}
             assert 0.0 <= group["all_deal_rate"] <= 1.0

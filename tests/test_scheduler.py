@@ -120,6 +120,103 @@ class TestSchedulerGuards:
         assert len(errors) == 1
 
 
+class TestTicksBoundary:
+    """Half-up rounding at the 0-boundary (delays must never vanish)."""
+
+    def test_half_up_below_half_bumps_to_one(self):
+        # 0.4 ticks would round to 0; a positive multiple must cost >= 1.
+        assert ticks(10, 0.04) == 1
+
+    def test_half_up_at_exactly_half(self):
+        assert ticks(10, 0.05) == 1
+        assert ticks(1000, 0.0005) == 1
+
+    def test_zero_multiple_stays_zero(self):
+        assert ticks(1000, 0.0) == 0
+
+    def test_tiny_positive_multiple_never_zero(self):
+        assert ticks(1_000_000, 1e-12) == 1
+
+
+class TestEventBudgetExhaustion:
+    """A runaway strategy must raise, not hang the simulation."""
+
+    def test_raises_scheduler_error_not_hang(self):
+        scheduler = Scheduler(max_events=50)
+
+        def reschedule():
+            scheduler.after(0, reschedule)  # same-tick livelock
+
+        scheduler.at(0, reschedule)
+        with pytest.raises(SchedulerError, match="event budget"):
+            scheduler.run()
+
+    def test_budget_boundary_is_exact(self):
+        scheduler = Scheduler(max_events=5)
+        fired = []
+        for i in range(5):
+            scheduler.at(i, lambda i=i: fired.append(i))
+        assert scheduler.run() == 5  # exactly the budget is fine
+        assert fired == [0, 1, 2, 3, 4]
+        scheduler.at(10, lambda: fired.append(10))
+        with pytest.raises(SchedulerError, match="event budget"):
+            scheduler.run()  # the budget spans run() calls
+
+    def test_budget_exhaustion_leaves_scheduler_reusable_state(self):
+        scheduler = Scheduler(max_events=3)
+        for i in range(10):
+            scheduler.at(i, lambda: None)
+        with pytest.raises(SchedulerError):
+            scheduler.run()
+        # The guard released the running flag; pending work is inspectable.
+        assert scheduler.pending() > 0
+
+
+class TestClockEdges:
+    def test_advance_to_now_is_allowed(self):
+        clock = Clock(7)
+        clock.advance_to(7)
+        assert clock.now == 7
+
+    def test_backward_rejection_message_names_both_times(self):
+        clock = Clock(9)
+        with pytest.raises(SimulationError, match="9.*5"):
+            clock.advance_to(5)
+
+    def test_backward_rejection_leaves_clock_unchanged(self):
+        clock = Clock(9)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5)
+        assert clock.now == 9
+
+
+class TestSameTickScheduling:
+    def test_scheduling_at_now_with_equal_priority_preserves_seq(self):
+        """Events added at the current tick mid-run fire in creation order."""
+        scheduler = Scheduler()
+        fired = []
+
+        def spawn():
+            for i in range(4):
+                scheduler.after(0, lambda i=i: fired.append(i))
+
+        scheduler.at(10, spawn)
+        scheduler.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_at_now_interleaves_with_preexisting_same_tick_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(10, lambda: fired.append("first"))
+        scheduler.at(
+            10, lambda: scheduler.at(10, lambda: fired.append("spawned"))
+        )
+        scheduler.at(10, lambda: fired.append("third"))
+        scheduler.run()
+        # The spawned event has a later seq than everything pre-queued.
+        assert fired == ["first", "third", "spawned"]
+
+
 class TestHorizon:
     def test_horizon_stops(self):
         scheduler = Scheduler()
