@@ -52,6 +52,8 @@ from repro.api import (
     Engine,
     RunReport,
     Scenario,
+    Execution,
+    Milestone,
     Sweep,
     SweepReport,
     get_engine,
@@ -77,13 +79,15 @@ from repro.errors import ReproError, ScenarioError, UnknownEngineError
 from repro.lab import RunStore, Workload, build_sweep, open_store
 from repro.sim.faults import Crash, CrashPoint, FaultPlan
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ACCEPTABLE_OUTCOMES",
     "Outcome",
     "classify_all",
     "Engine",
+    "Execution",
+    "Milestone",
     "RunReport",
     "Scenario",
     "Sweep",

@@ -6,8 +6,11 @@ Three nouns cover every protocol in the library:
   (topology, Δ-model parameters, fault plan, strategy assignments, seed,
   engine-specific params);
 * :class:`Engine` — a registered protocol adapter with a uniform
-  ``run(scenario) -> RunReport`` contract; six ship by default:
-  ``herlihy``, ``single-leader``, ``multiswap``, ``naive-timelock``,
+  ``run(scenario) -> RunReport`` contract plus the instrumented
+  lifecycle ``open(scenario) -> Execution`` (typed protocol milestones,
+  read-only probes, milestone interventions — see
+  :mod:`repro.api.execution`); six ship by default: ``herlihy``,
+  ``single-leader``, ``multiswap``, ``naive-timelock``,
   ``sequential-trust``, ``2pc``;
 * :class:`RunReport` — one result shape for all of them: per-party
   Fig.-3 outcomes, triggered/refunded arcs, model and wall time,
@@ -35,6 +38,11 @@ zero engines.
 """
 
 from repro.api.engine import Engine, get_engine, list_engines, register_engine
+from repro.api.execution import (
+    Execution,
+    ExecutionView,
+    PreparedSimulation,
+)
 from repro.api.engines import (
     ENGINES,
     HerlihyEngine,
@@ -54,6 +62,7 @@ from repro.api.scenario import (
 from repro.api.sweep import (
     FailedRun,
     Sweep,
+    SweepProgress,
     SweepReport,
     derive_seed,
     run_item,
@@ -63,13 +72,20 @@ from repro.api.sweep import (
 )
 from repro.errors import (
     EngineError,
+    ExecutionError,
     ScenarioError,
     UnknownEngineError,
     UnknownStrategyError,
 )
+from repro.sim.milestones import MILESTONE_KINDS, Milestone
 
 __all__ = [
     "Engine",
+    "Execution",
+    "ExecutionView",
+    "PreparedSimulation",
+    "Milestone",
+    "MILESTONE_KINDS",
     "get_engine",
     "list_engines",
     "register_engine",
@@ -87,6 +103,7 @@ __all__ = [
     "resolve_strategy",
     "FailedRun",
     "Sweep",
+    "SweepProgress",
     "SweepReport",
     "derive_seed",
     "run_item",
@@ -94,6 +111,7 @@ __all__ = [
     "run_sweep",
     "smoke_sweep",
     "EngineError",
+    "ExecutionError",
     "ScenarioError",
     "UnknownEngineError",
     "UnknownStrategyError",

@@ -2,20 +2,39 @@
 
 Every protocol variant in the library — the paper's hashkey protocol,
 the §4.6 single-leader variant, the §5 multigraph extension, and the
-three baselines — is exposed as an :class:`Engine` with one method that
-matters: ``run(scenario) -> RunReport``.  Engines are looked up by name
-(:func:`get_engine`), so benchmarks and sweeps can treat protocols as
-interchangeable modules and iterate over :func:`list_engines`.
+three baselines — is exposed as an :class:`Engine` with two entry
+points:
 
-Lookup failures raise :class:`repro.errors.UnknownEngineError`, whose
-message lists every registered name.
+* ``run(scenario) -> RunReport`` — the one-shot contract every sweep,
+  bench, and store uses;
+* ``open(scenario) -> Execution`` — the instrumented lifecycle
+  (:mod:`repro.api.execution`): the same prepared simulation, exposed
+  as a steppable session with typed protocol milestones, read-only
+  probes, and milestone interventions.  ``run()`` is literally
+  ``open().run_to_completion()``, so the two are byte-identical on
+  uninstrumented runs.
+
+Engines implement :meth:`Engine.prepare`, returning a
+:class:`~repro.api.execution.PreparedSimulation` (the assembled
+harness, the protocol start time, and the result classifier).  The
+pre-1.5 :meth:`Engine.execute` — run the native simulation to
+completion, return its native result — survives as a deprecation shim.
+
+Engines are looked up by name (:func:`get_engine`), so benchmarks and
+sweeps can treat protocols as interchangeable modules and iterate over
+:func:`list_engines`.  Lookup failures raise
+:class:`repro.errors.UnknownEngineError`, whose message lists every
+registered name.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import time
+import warnings
+from abc import ABC
 from typing import Any
 
+from repro.api.execution import Execution, PreparedSimulation
 from repro.api.report import RunReport, wall_clock
 from repro.api.scenario import Scenario
 from repro.errors import EngineError, UnknownEngineError
@@ -26,9 +45,12 @@ _REGISTRY: dict[str, "Engine"] = {}
 class Engine(ABC):
     """A registered protocol adapter with a uniform run contract.
 
-    Subclasses implement :meth:`execute`, returning whichever legacy
-    result object their protocol produces; :meth:`run` wraps it with
-    wall-clock timing and normalises to a :class:`RunReport`.
+    Subclasses implement :meth:`prepare`, assembling (but not running)
+    their simulation; :meth:`open` wraps the result in an
+    :class:`~repro.api.execution.Execution` session and :meth:`run`
+    drives that session to a :class:`RunReport`.  Legacy subclasses
+    that only override :meth:`execute` keep working through the old
+    one-shot path.
     """
 
     #: Registry key; subclasses must override.
@@ -37,15 +59,56 @@ class Engine(ABC):
     #: One-line human description for tables and ``list_engines`` docs.
     description: str = ""
 
-    @abstractmethod
-    def execute(self, scenario: Scenario) -> Any:
-        """Run the underlying simulation, returning its native result."""
+    def prepare(self, scenario: Scenario) -> PreparedSimulation:
+        """Assemble the simulation for ``scenario`` without running it."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither prepare() nor execute()"
+        )
+
+    def open(self, scenario: Scenario) -> Execution:
+        """Prepare ``scenario`` and return the execution session.
+
+        The session owns the prepared harness; drive it with ``step()``
+        / ``run_until()`` / ``run_to_completion()``, register probes and
+        interventions before the first step.  One session runs once.
+        """
+        if type(self).prepare is Engine.prepare:
+            raise EngineError(
+                f"engine {self.name!r} predates the execution-session API "
+                "(it overrides execute() only); implement prepare() to "
+                "support open()"
+            )
+        started = time.perf_counter()
+        return Execution(self.name, scenario, self.prepare(scenario), started)
 
     def run(self, scenario: Scenario) -> RunReport:
         """Execute ``scenario`` and return the unified :class:`RunReport`."""
+        if type(self).prepare is not Engine.prepare:
+            return self.open(scenario).run_to_completion()
+        if type(self).execute is Engine.execute:
+            raise EngineError(
+                f"{type(self).__name__} implements neither prepare() nor "
+                "execute()"
+            )
         with wall_clock() as wall:
             result = self.execute(scenario)
         return RunReport.from_result(self.name, scenario, result, wall.seconds)
+
+    def execute(self, scenario: Scenario) -> Any:
+        """Deprecated: run the simulation, returning its native result.
+
+        Kept for one release of backward compatibility; new code opens a
+        session (``open(scenario).run_to_completion().raw``) or calls
+        :meth:`run`.
+        """
+        warnings.warn(
+            "Engine.execute() is deprecated; use Engine.open(scenario) for "
+            "the instrumented session or Engine.run(scenario) for the "
+            "one-shot report (its .raw attribute holds the native result)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(scenario).raw
 
 
 def register_engine(engine: Engine, replace: bool = False) -> Engine:

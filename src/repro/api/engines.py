@@ -1,11 +1,18 @@
 """The six protocol adapters, registered at import time.
 
+Each adapter implements :meth:`~repro.api.engine.Engine.prepare`,
+assembling its simulation through the shared
+:class:`~repro.sim.harness.SimulationHarness` and handing the prepared
+run to the execution-session layer (:mod:`repro.api.execution`) — so
+``Engine.run``, ``Engine.open``, probes, and milestone interventions
+all drive the very same assembly the legacy one-shot runners used.
+
 ================ ==================================================== ==============================
-name             wraps                                                ``Scenario.timing`` applies to
+name             protocol                                             ``Scenario.timing`` applies to
 ================ ==================================================== ==============================
-herlihy          :func:`repro.core.protocol.run_swap` (§4.5 hashkeys) every party (per-vertex profile)
-single-leader    :func:`repro.core.timelocks.run_single_leader_swap`  every party (per-vertex profile)
-multiswap        :func:`repro.core.multiswap.run_multigraph_swap`     every party of the bundled run
+herlihy          :class:`repro.core.protocol.SwapSimulation` (§4.5)   every party (per-vertex profile)
+single-leader    :class:`repro.core.timelocks.SingleLeaderSimulation` every party (per-vertex profile)
+multiswap        §5 multigraphs via :mod:`repro.core.multiswap`       every party of the bundled run
 naive-timelock   baseline B1 — equal timeouts (the §1 anti-pattern)   every party (per-vertex profile)
 sequential-trust baseline B2 — sequential trusted transfers           every party (per-vertex profile)
 2pc              baseline B3 — trusted-coordinator two-phase commit   escrow parties (coordinator
@@ -33,13 +40,14 @@ from __future__ import annotations
 from typing import Any
 
 from repro.api.engine import Engine, register_engine
+from repro.api.execution import PreparedSimulation
 from repro.api.scenario import Scenario
-from repro.baselines.naive_timelock import _run_naive_timelock_swap
-from repro.baselines.pairwise_htlc import _run_sequential_trust_swap
-from repro.baselines.two_phase_commit import _run_two_phase_commit_swap
-from repro.core.multiswap import run_multigraph_swap
-from repro.core.protocol import run_swap
-from repro.core.timelocks import run_single_leader_swap
+from repro.baselines.naive_timelock import _prepare_naive_timelock_swap
+from repro.baselines.pairwise_htlc import _prepare_sequential_trust_swap
+from repro.baselines.two_phase_commit import _prepare_two_phase_commit_swap
+from repro.core.multiswap import prepare_multigraph_swap
+from repro.core.protocol import SwapSimulation
+from repro.core.timelocks import SingleLeaderSimulation
 from repro.digraph.digraph import Arc, Digraph, Vertex
 from repro.digraph.multigraph import MultiDigraph
 from repro.errors import ScenarioError
@@ -124,15 +132,16 @@ class HerlihyEngine(Engine):
     name = "herlihy"
     description = "hashkey/timelock protocol (§4.5), any leader set"
 
-    def execute(self, scenario: Scenario):
+    def prepare(self, scenario: Scenario) -> PreparedSimulation:
         _check_params(self, scenario, frozenset())
-        return run_swap(
+        simulation = SwapSimulation(
             _simple_digraph(self, scenario),
             leaders=scenario.leaders,
             config=scenario.config(),
             faults=scenario.faults,
             strategies=scenario.resolved_strategies(),
         )
+        return PreparedSimulation(*simulation.prepared())
 
 
 class SingleLeaderEngine(Engine):
@@ -146,15 +155,16 @@ class SingleLeaderEngine(Engine):
     name = "single-leader"
     description = "single-leader timeout protocol (§4.6)"
 
-    def execute(self, scenario: Scenario):
+    def prepare(self, scenario: Scenario) -> PreparedSimulation:
         _check_params(self, scenario, frozenset({"leader"}))
         _require_no_strategies(self, scenario)
-        return run_single_leader_swap(
+        simulation = SingleLeaderSimulation(
             _simple_digraph(self, scenario),
             leader=_single_leader(self, scenario),
             config=scenario.config(),
             faults=scenario.faults,
         )
+        return PreparedSimulation(*simulation.prepared())
 
 
 class MultiswapEngine(Engine):
@@ -168,18 +178,18 @@ class MultiswapEngine(Engine):
     name = "multiswap"
     description = "directed-multigraph swaps (§5) via arc bundling"
 
-    def execute(self, scenario: Scenario):
+    def prepare(self, scenario: Scenario) -> PreparedSimulation:
         _check_params(self, scenario, frozenset())
         topology = scenario.topology
         if isinstance(topology, Digraph):
             topology = MultiDigraph(topology.vertices, topology.arcs)
-        return run_multigraph_swap(
+        return PreparedSimulation(*prepare_multigraph_swap(
             topology,
             leaders=scenario.leaders,
             config=scenario.config(),
             faults=scenario.faults,
             strategies=scenario.resolved_strategies(),
-        )
+        ))
 
 
 class NaiveTimelockEngine(Engine):
@@ -194,12 +204,12 @@ class NaiveTimelockEngine(Engine):
     name = "naive-timelock"
     description = "baseline B1: hashed timelocks with equal timeouts"
 
-    def execute(self, scenario: Scenario):
+    def prepare(self, scenario: Scenario) -> PreparedSimulation:
         _check_params(
             self, scenario, frozenset({"leader", "attacker", "timeout_multiple"})
         )
         _require_no_strategies(self, scenario)
-        return _run_naive_timelock_swap(
+        simulation = _prepare_naive_timelock_swap(
             _simple_digraph(self, scenario),
             leader=_single_leader(self, scenario),
             attacker=scenario.params.get("attacker"),
@@ -207,6 +217,7 @@ class NaiveTimelockEngine(Engine):
             faults=scenario.faults,
             timeout_multiple=scenario.params.get("timeout_multiple"),
         )
+        return PreparedSimulation(*simulation.prepared())
 
 
 class SequentialTrustEngine(Engine):
@@ -221,17 +232,17 @@ class SequentialTrustEngine(Engine):
     name = "sequential-trust"
     description = "baseline B2: sequential trusted transfers"
 
-    def execute(self, scenario: Scenario):
+    def prepare(self, scenario: Scenario) -> PreparedSimulation:
         _check_params(self, scenario, frozenset({"first_mover", "defectors"}))
         _require_no_strategies(self, scenario)
         _require_no_faults(self, scenario)
         defectors = scenario.params.get("defectors")
-        return _run_sequential_trust_swap(
+        return PreparedSimulation(*_prepare_sequential_trust_swap(
             _simple_digraph(self, scenario),
             first_mover=scenario.params.get("first_mover"),
             defectors=set(defectors) if defectors else None,
             config=scenario.config(),
-        )
+        ))
 
 
 class TwoPhaseCommitEngine(Engine):
@@ -246,19 +257,19 @@ class TwoPhaseCommitEngine(Engine):
     name = "2pc"
     description = "baseline B3: trusted-coordinator two-phase commit"
 
-    def execute(self, scenario: Scenario):
+    def prepare(self, scenario: Scenario) -> PreparedSimulation:
         _check_params(
             self, scenario, frozenset({"byzantine_commit_only", "coordinator_crashes"})
         )
         _require_no_strategies(self, scenario)
         _require_no_faults(self, scenario)
         commit_only = scenario.params.get("byzantine_commit_only")
-        return _run_two_phase_commit_swap(
+        return PreparedSimulation(*_prepare_two_phase_commit_swap(
             _simple_digraph(self, scenario),
             config=scenario.config(),
             byzantine_commit_only=_arc_set(commit_only) if commit_only else None,
             coordinator_crashes=bool(scenario.params.get("coordinator_crashes", False)),
-        )
+        ))
 
 
 ENGINES: tuple[Engine, ...] = tuple(

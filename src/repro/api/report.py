@@ -54,6 +54,14 @@ class RunReport:
     wall_seconds: float
     extra: dict[str, Any] = field(default_factory=dict)
     raw: Any = field(default=None, compare=False, repr=False)
+    milestones: Any = field(default=None, compare=False, repr=False)
+    """The execution session's milestone sequence (tuple of
+    :class:`repro.sim.milestones.Milestone`), populated by
+    ``Engine.run``/``Execution.run_to_completion``.  Like :attr:`raw`,
+    deliberately excluded from serialization and equality: reports stay
+    byte-identical to pre-session releases, while in-process callers
+    (and the sweep layer, which stores the *counts* beside the report)
+    can still inspect the lifecycle."""
 
     # -- headline predicates -------------------------------------------------
 
@@ -69,6 +77,17 @@ class RunReport:
 
     def underwater_parties(self) -> set[Vertex]:
         return {v for v, o in self.outcomes.items() if o is Outcome.UNDERWATER}
+
+    def milestone_counts(self) -> dict[str, int] | None:
+        """Milestone occurrences by kind, or ``None`` when the report
+        was deserialized (milestones do not cross process boundaries —
+        the sweep layer persists the counts beside the report)."""
+        if self.milestones is None:
+            return None
+        counts: dict[str, int] = {}
+        for milestone in self.milestones:
+            counts[milestone.kind] = counts.get(milestone.kind, 0) + 1
+        return counts
 
     def within_time_bound(self) -> bool:
         return (

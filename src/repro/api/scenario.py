@@ -171,6 +171,14 @@ class Scenario:
     faults: FaultPlan = field(default_factory=FaultPlan)
     strategies: dict[Vertex, str] = field(default_factory=dict)
     params: dict[str, Any] = field(default_factory=dict)
+    chain_delays: dict[str, int] = field(default_factory=dict)
+    """Heterogeneous per-chain confirmation latency (the *chain-side* Δ):
+    extra ticks every watcher waits before observing a record on that
+    chain, on top of its own profile's ``reaction_delay``.  Keys are arc
+    labels (``"head->tail"``) or ``"broadcast"``; values are
+    non-negative tick counts.  Empty (the default) keeps the historical
+    behaviour — and the historical ``run_key``, so existing stores stay
+    warm; non-default delays participate in run-key hashing."""
 
     def __post_init__(self) -> None:
         if not isinstance(self.topology, (Digraph, MultiDigraph)):
@@ -189,6 +197,41 @@ class Scenario:
             object.__setattr__(self, "timing", timing_to_dict(self.timing))
         except TimingError as error:
             raise ScenarioError(str(error)) from None
+        if not isinstance(self.chain_delays, Mapping):
+            raise ScenarioError(
+                "chain_delays must map 'head->tail' (or 'broadcast') arc "
+                f"labels to tick counts, got {type(self.chain_delays).__name__}"
+            )
+        # The arc set (and, for multigraphs, the simple projection) is
+        # only needed when delays are actually present — which is never
+        # the default-constructed case, so don't tax every Scenario.
+        arcs = set(self.digraph().arcs) if self.chain_delays else set()
+        delays: dict[str, int] = {}
+        for key, delay in self.chain_delays.items():
+            if not isinstance(key, str) or (
+                key != "broadcast" and "->" not in key
+            ):
+                raise ScenarioError(
+                    f"chain_delays key {key!r} is not an arc label; use "
+                    "'head->tail' or 'broadcast'"
+                )
+            if key != "broadcast":
+                # Fail at construction, not per-run: a typo'd arc in a
+                # big sweep would otherwise persist a store full of
+                # failure records before anyone notices.
+                head, _, tail = key.partition("->")
+                if (head, tail) not in arcs:
+                    raise ScenarioError(
+                        f"chain_delays key {key!r} names no arc of the "
+                        f"topology; arcs: {sorted(arcs)}"
+                    )
+            if isinstance(delay, bool) or not isinstance(delay, int) or delay < 0:
+                raise ScenarioError(
+                    f"chain delay for {key!r} must be a non-negative tick "
+                    f"count, got {delay!r}"
+                )
+            delays[key] = delay
+        object.__setattr__(self, "chain_delays", delays)
         for vertex, strategy in self.strategies.items():
             if not isinstance(strategy, str):
                 raise ScenarioError(
@@ -218,6 +261,7 @@ class Scenario:
             exact_limit=self.exact_limit,
             diam_override=self.diam_override,
             timing=self.timing,
+            chain_delays=dict(self.chain_delays) or None,
         )
 
     def timing_model(self) -> TimingModel:
@@ -244,13 +288,16 @@ class Scenario:
     def to_dict(self) -> dict:
         """A JSON-compatible representation; inverse of :meth:`from_dict`.
 
-        ``timing`` is omitted when unset (``None``): an unset axis
-        serializes exactly as it did before the field existed, so stored
-        entries — not just run keys — stay byte-identical.
+        ``timing`` is omitted when unset (``None``), and
+        ``chain_delays`` when empty: an unset axis serializes exactly as
+        it did before the field existed, so stored entries — not just
+        run keys — stay byte-identical.
         """
         data = self._to_dict_full()
         if data["timing"] is None:
             del data["timing"]
+        if not data["chain_delays"]:
+            del data["chain_delays"]
         return data
 
     def _to_dict_full(self) -> dict:
@@ -272,6 +319,7 @@ class Scenario:
             "faults": _faults_to_dict(self.faults),
             "strategies": dict(self.strategies),
             "params": self.params,
+            "chain_delays": dict(self.chain_delays),
         }
 
     def canonical_dict(self) -> dict:
@@ -290,6 +338,8 @@ class Scenario:
         del data["name"]
         if is_default_timing(data["timing"]):
             del data["timing"]
+        if not data["chain_delays"]:
+            del data["chain_delays"]
         topology = data["topology"]
         topology["vertices"] = sorted(topology["vertices"])
         topology["arcs"] = sorted(topology["arcs"])

@@ -182,7 +182,14 @@ def _run_payload(payload: tuple[str, dict]) -> dict:
             "error_type": type(error).__name__,
             "message": str(error),
         }
-    return {"ok": True, "report": report.to_dict()}
+    entry = {"ok": True, "report": report.to_dict()}
+    counts = report.milestone_counts()
+    if counts is not None:
+        # Milestones ride *beside* the report, not inside it: the report
+        # dict stays byte-identical to pre-session releases while the
+        # store still learns the lifecycle shape of every fresh run.
+        entry["milestones"] = counts
+    return entry
 
 
 def _run_chunk(payloads: Sequence[tuple[str, dict]]) -> list[dict]:
@@ -210,6 +217,28 @@ class FailedRun:
     scenario: Scenario
     error_type: str
     message: str
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One completion tick streamed to ``run_sweep(progress=...)``.
+
+    Emitted once for the cache-served prefix (when a store is warm) and
+    then once per recorded chunk (parallel mode) or item (serial mode),
+    so callers see per-item completion *as chunks land*, not after the
+    barrier.  ``milestones`` aggregates the milestone counts of this
+    tick's freshly executed runs — the per-chunk lifecycle stats.
+    """
+
+    completed: int
+    """Items recorded so far (cached + executed), out of ``total``."""
+    total: int
+    fresh: int
+    """Items recorded by this tick (0 for the cache-served tick)."""
+    cached: int
+    """Items served from the store so far."""
+    milestones: dict[str, int]
+    """Summed milestone counts over this tick's fresh runs."""
 
 
 @dataclass
@@ -333,6 +362,7 @@ def run_sweep(
     max_workers: int | None = None,
     chunksize: int | None = None,
     store: Any | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
 ) -> SweepReport:
     """Execute every scenario in ``sweep`` and aggregate the reports.
 
@@ -350,6 +380,12 @@ def run_sweep(
     interrupted sweep keeps every chunk recorded before the kill, and a
     fully warm re-run reports ``mode == "cached"`` with zero engine
     executions.
+
+    ``progress=`` streams per-item completion through the session layer:
+    the callback receives a :class:`SweepProgress` per recorded chunk
+    (with that chunk's aggregated milestone counts) the moment the chunk
+    lands — including out-of-order chunks — plus one leading tick for
+    any cache-served prefix.
     """
     items = sweep.items() if isinstance(sweep, Sweep) else tuple(sweep)
     if not items:
@@ -364,9 +400,33 @@ def run_sweep(
             entries[index] = store.get(keys[index])
     pending = [i for i in range(len(items)) if entries[i] is None]
     payloads = [(items[i][0], items[i][1].to_dict()) for i in pending]
+    cached_total = len(items) - len(pending)
+    completed = cached_total  # running counter; keeps ticks O(fresh)
+
+    def notify(fresh_indices: Sequence[int]) -> None:
+        if progress is None:
+            return
+        milestones: dict[str, int] = {}
+        for index in fresh_indices:
+            for kind, count in (entries[index].get("milestones") or {}).items():
+                milestones[kind] = milestones.get(kind, 0) + count
+        progress(
+            SweepProgress(
+                completed=completed,
+                total=len(items),
+                fresh=len(fresh_indices),
+                cached=cached_total,
+                milestones=milestones,
+            )
+        )
+
+    if cached_total:
+        notify(())
 
     def record(index: int, entry: dict) -> None:
+        nonlocal completed
         entries[index] = entry
+        completed += 1
         if store is not None:
             store.put(keys[index], entry)
 
@@ -409,9 +469,11 @@ def run_sweep(
                         for chunk_indices, chunk_payloads in chunks
                     }
                     for future in as_completed(futures):
-                        for index, entry in zip(futures[future], future.result()):
+                        chunk_indices = futures[future]
+                        for index, entry in zip(chunk_indices, future.result()):
                             record(index, entry)
                         flush_store()  # each chunk is durable on arrival
+                        notify(chunk_indices)
             except (BrokenProcessPool, OSError, PermissionError):
                 # Sandboxes that refuse fork/spawn at submit time still
                 # get a correct (serial) sweep; anything recorded before
@@ -425,6 +487,7 @@ def run_sweep(
             if entries[index] is None:
                 record(index, _run_payload(payload))
                 flush_store()
+                notify((index,))
 
     return _assemble(
         entries, start, mode, workers,

@@ -39,6 +39,33 @@ class LastMomentSingleLeaderParty(SingleLeaderParty):
         return max(self.profile.action_delay, deadline - margin - self.scheduler.now)
 
 
+def _prepare_naive_timelock_swap(
+    digraph: Digraph,
+    leader: Vertex | None = None,
+    attacker: Vertex | None = None,
+    config: SwapConfig | None = None,
+    faults: FaultPlan | None = None,
+    timeout_multiple: int | None = None,
+) -> SingleLeaderSimulation:
+    """Assemble (without running) the equal-timeout swap simulation."""
+    config = config or SwapConfig()
+    start = config.resolved_start()
+    timeouts = equal_timeouts(
+        digraph, config.delta, start_time=start, multiple=timeout_multiple
+    )
+    strategies = {}
+    if attacker is not None:
+        strategies[attacker] = LastMomentSingleLeaderParty
+    return SingleLeaderSimulation(
+        digraph,
+        leader=leader,
+        config=config,
+        faults=faults,
+        strategies=strategies,
+        timeouts=timeouts,
+    )
+
+
 def _run_naive_timelock_swap(
     digraph: Digraph,
     leader: Vertex | None = None,
@@ -53,23 +80,14 @@ def _run_naive_timelock_swap(
     parties upstream of it (who learn the secret only after the shared
     deadline) end up Underwater.
     """
-    config = config or SwapConfig()
-    start = config.resolved_start()
-    timeouts = equal_timeouts(
-        digraph, config.delta, start_time=start, multiple=timeout_multiple
-    )
-    strategies = {}
-    if attacker is not None:
-        strategies[attacker] = LastMomentSingleLeaderParty
-    simulation = SingleLeaderSimulation(
+    return _prepare_naive_timelock_swap(
         digraph,
         leader=leader,
+        attacker=attacker,
         config=config,
         faults=faults,
-        strategies=strategies,
-        timeouts=timeouts,
-    )
-    return simulation.run()
+        timeout_multiple=timeout_multiple,
+    ).run()
 
 
 def run_naive_timelock_swap(

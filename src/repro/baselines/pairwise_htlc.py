@@ -114,17 +114,14 @@ class SequentialParty(Process):
             self.trace.record(now, tr.ARC_TRIGGERED, self.address, arc=list(arc))
 
 
-def _run_sequential_trust_swap(
+def _prepare_sequential_trust_swap(
     digraph: Digraph,
     first_mover: Vertex | None = None,
     defectors: set[Vertex] | None = None,
     config: SwapConfig | None = None,
-) -> SwapResult:
-    """Execute the cycle by trust, optionally with defecting parties.
-
-    Returns the same :class:`SwapResult` shape as the real protocol so the
-    benches can print both in one table.
-    """
+):
+    """``(harness, start_time, finalize)``: the assembled trust-chain
+    simulation for the execution-session layer."""
     config = config or SwapConfig()
     defectors = defectors or set()
     harness = SimulationHarness.for_config(
@@ -139,7 +136,7 @@ def _run_sequential_trust_swap(
     if first_mover is None:
         first_mover = digraph.vertices[0]
 
-    parties = harness.build_parties(
+    harness.build_parties(
         lambda vertex, profile: SequentialParty(
             name=vertex,
             digraph=digraph,
@@ -154,8 +151,6 @@ def _run_sequential_trust_swap(
     harness.wire_observations()
 
     start = config.resolved_start()
-    events = harness.run_to_quiescence(start)
-
     spec = BaselineSpec(
         digraph=digraph,
         leaders=(first_mover,),
@@ -163,12 +158,34 @@ def _run_sequential_trust_swap(
         delta=config.delta,
         diam=len(digraph.vertices) - 1,
     )
-    return harness.collect(
-        spec=spec,
-        config=config,
-        conforming=frozenset(v for v in digraph.vertices if v not in defectors),
-        events_fired=events,
+    conforming = frozenset(v for v in digraph.vertices if v not in defectors)
+
+    def finalize(events_fired: int) -> SwapResult:
+        return harness.collect(
+            spec=spec,
+            config=config,
+            conforming=conforming,
+            events_fired=events_fired,
+        )
+
+    return harness, start, finalize
+
+
+def _run_sequential_trust_swap(
+    digraph: Digraph,
+    first_mover: Vertex | None = None,
+    defectors: set[Vertex] | None = None,
+    config: SwapConfig | None = None,
+) -> SwapResult:
+    """Execute the cycle by trust, optionally with defecting parties.
+
+    Returns the same :class:`SwapResult` shape as the real protocol so the
+    benches can print both in one table.
+    """
+    harness, start, finalize = _prepare_sequential_trust_swap(
+        digraph, first_mover=first_mover, defectors=defectors, config=config
     )
+    return finalize(harness.run_to_quiescence(start))
 
 
 def run_sequential_trust_swap(

@@ -264,18 +264,14 @@ class TwoPhaseCommitSpec:
         return self.start_time + 3 * self.delta
 
 
-def _run_two_phase_commit_swap(
+def _prepare_two_phase_commit_swap(
     digraph: Digraph,
     config: SwapConfig | None = None,
     byzantine_commit_only: set[Arc] | None = None,
     coordinator_crashes: bool = False,
-) -> SwapResult:
-    """Run the trusted-coordinator exchange.
-
-    ``byzantine_commit_only`` switches the coordinator to a partial commit
-    (the trust failure); ``coordinator_crashes`` exercises the timeout
-    path (everyone refunds; NoDeal).
-    """
+):
+    """``(harness, start_time, finalize)``: the assembled 2PC exchange
+    for the execution-session layer."""
     config = config or SwapConfig()
     harness = SimulationHarness.for_config(
         digraph,
@@ -286,7 +282,7 @@ def _run_two_phase_commit_swap(
     start = config.resolved_start()
     timeout = start + 4 * config.delta
 
-    parties = harness.build_parties(
+    harness.build_parties(
         lambda vertex, profile: EscrowParty(
             name=vertex,
             digraph=digraph,
@@ -310,7 +306,6 @@ def _run_two_phase_commit_swap(
         crash_before_decide=coordinator_crashes,
     )
     harness.wire_observations(extra_watchers=(coordinator,))
-    events = harness.run_to_quiescence(start)
 
     spec = TwoPhaseCommitSpec(
         digraph=digraph,
@@ -319,12 +314,38 @@ def _run_two_phase_commit_swap(
         delta=config.delta,
         diam=1,
     )
-    return harness.collect(
-        spec=spec,
+    conforming = frozenset(digraph.vertices)
+
+    def finalize(events_fired: int) -> SwapResult:
+        return harness.collect(
+            spec=spec,
+            config=config,
+            conforming=conforming,
+            events_fired=events_fired,
+        )
+
+    return harness, start, finalize
+
+
+def _run_two_phase_commit_swap(
+    digraph: Digraph,
+    config: SwapConfig | None = None,
+    byzantine_commit_only: set[Arc] | None = None,
+    coordinator_crashes: bool = False,
+) -> SwapResult:
+    """Run the trusted-coordinator exchange.
+
+    ``byzantine_commit_only`` switches the coordinator to a partial commit
+    (the trust failure); ``coordinator_crashes`` exercises the timeout
+    path (everyone refunds; NoDeal).
+    """
+    harness, start, finalize = _prepare_two_phase_commit_swap(
+        digraph,
         config=config,
-        conforming=frozenset(digraph.vertices),
-        events_fired=events,
+        byzantine_commit_only=byzantine_commit_only,
+        coordinator_crashes=coordinator_crashes,
     )
+    return finalize(harness.run_to_quiescence(start))
 
 
 def run_two_phase_commit_swap(

@@ -70,6 +70,59 @@ class MultiSwapResult:
         )
 
 
+def bundle_values(
+    multigraph: MultiDigraph, multiarc_values: dict[MultiArc, int] | None = None
+) -> dict[Arc, int]:
+    """Per-pair bundle values: the sum over each pair's parallel arcs."""
+    values: dict[Arc, int] = {}
+    for (u, v, k) in multigraph.arcs:
+        value = 1 if multiarc_values is None else multiarc_values.get((u, v, k), 1)
+        values[(u, v)] = values.get((u, v), 0) + value
+    return values
+
+
+def project_result(multigraph: MultiDigraph, base: SwapResult) -> MultiSwapResult:
+    """Project a bundled simple-digraph result back onto keyed arcs."""
+    triggered = frozenset(
+        (u, v, k) for (u, v, k) in multigraph.arcs if (u, v) in base.triggered
+    )
+    refunded = frozenset(
+        (u, v, k) for (u, v, k) in multigraph.arcs if (u, v) in base.refunded
+    )
+    return MultiSwapResult(
+        multigraph=multigraph,
+        base=base,
+        triggered_multiarcs=triggered,
+        refunded_multiarcs=refunded,
+    )
+
+
+def prepare_multigraph_swap(
+    multigraph: MultiDigraph,
+    leaders: tuple[Vertex, ...] | list[Vertex] | None = None,
+    config: SwapConfig | None = None,
+    faults: FaultPlan | None = None,
+    strategies: dict | None = None,
+    multiarc_values: dict[MultiArc, int] | None = None,
+):
+    """``(harness, start_time, finalize)`` for the execution-session
+    layer; ``finalize`` yields the projected :class:`MultiSwapResult`."""
+    simulation = SwapSimulation(
+        multigraph.underlying_simple(),
+        leaders=leaders,
+        config=config,
+        faults=faults,
+        strategies=strategies,
+        asset_values=bundle_values(multigraph, multiarc_values),
+    )
+    harness, start_time, collect = simulation.prepared()
+
+    def finalize(events_fired: int) -> MultiSwapResult:
+        return project_result(multigraph, collect(events_fired))
+
+    return harness, start_time, finalize
+
+
 def run_multigraph_swap(
     multigraph: MultiDigraph,
     leaders: tuple[Vertex, ...] | list[Vertex] | None = None,
@@ -83,30 +136,12 @@ def run_multigraph_swap(
     ``multiarc_values`` prices each keyed arc; a pair's bundle value is
     the sum over its parallel arcs.
     """
-    simple = multigraph.underlying_simple()
-    values: dict[Arc, int] = {}
-    for (u, v, k) in multigraph.arcs:
-        value = 1 if multiarc_values is None else multiarc_values.get((u, v, k), 1)
-        values[(u, v)] = values.get((u, v), 0) + value
-
     base = SwapSimulation(
-        simple,
+        multigraph.underlying_simple(),
         leaders=leaders,
         config=config,
         faults=faults,
         strategies=strategies,
-        asset_values=values,
+        asset_values=bundle_values(multigraph, multiarc_values),
     ).run()
-
-    triggered = frozenset(
-        (u, v, k) for (u, v, k) in multigraph.arcs if (u, v) in base.triggered
-    )
-    refunded = frozenset(
-        (u, v, k) for (u, v, k) in multigraph.arcs if (u, v) in base.refunded
-    )
-    return MultiSwapResult(
-        multigraph=multigraph,
-        base=base,
-        triggered_multiarcs=triggered,
-        refunded_multiarcs=refunded,
-    )
+    return project_result(multigraph, base)

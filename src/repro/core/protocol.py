@@ -82,9 +82,15 @@ class SwapConfig:
     """Force a ``diam`` value (safe if >= the true diameter)."""
     timing: Any = None
     """Timing-model spec (``None``/``"uniform"``/``"jittered"``/
-    ``"stragglers"`` or a ``{"kind": ..., **params}`` dict) — see
-    :mod:`repro.sim.timing`.  ``None`` keeps the historical uniform
-    profile, making old configs behave identically."""
+    ``"stragglers"``/``"adaptive-stragglers"`` or a
+    ``{"kind": ..., **params}`` dict) — see :mod:`repro.sim.timing`.
+    ``None`` keeps the historical uniform profile, making old configs
+    behave identically."""
+    chain_delays: Any = None
+    """Per-chain confirmation lag: ``{"head->tail" | "broadcast": ticks}``
+    added to every observation of that chain's records (the chain-side
+    Δ).  ``None``/empty keeps the historical instant-confirmation
+    behaviour."""
 
     def resolved_start(self) -> int:
         return self.start_time if self.start_time is not None else self.delta
@@ -302,6 +308,13 @@ class SwapSimulation:
         return entry, {}
 
     # -- running ------------------------------------------------------------------------
+
+    def prepared(self):
+        """``(harness, start_time, finalize)`` for the execution-session
+        layer (:mod:`repro.api.execution`): the session drives the
+        harness itself and calls ``finalize(events_fired)`` once
+        quiesced."""
+        return self.harness, self.spec.start_time, self._collect
 
     def run(self) -> SwapResult:
         """Run to quiescence and classify the outcome."""

@@ -618,11 +618,19 @@ class SingleLeaderSimulation:
         self.harness.wire_observations()
         self._ran = False
 
+    def prepared(self):
+        """``(harness, start_time, finalize)`` for the execution-session
+        layer (:mod:`repro.api.execution`)."""
+        return self.harness, self.spec.start_time, self._collect
+
     def run(self) -> SwapResult:
         if self._ran:
             raise SimulationError("a SingleLeaderSimulation instance runs once")
         self._ran = True
         events = self.harness.run_to_quiescence(self.spec.start_time)
+        return self._collect(events)
+
+    def _collect(self, events_fired: int) -> SwapResult:
         conforming = frozenset(
             v
             for v in self.digraph.vertices
@@ -633,7 +641,7 @@ class SingleLeaderSimulation:
             spec=self.spec,
             config=self.config,
             conforming=conforming,
-            events_fired=events,
+            events_fired=events_fired,
         )
 
 

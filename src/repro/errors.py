@@ -147,6 +147,11 @@ class ScenarioError(EngineError):
     cannot express (e.g. fault plans on a baseline with no crash model)."""
 
 
+class ExecutionError(EngineError):
+    """Misuse of the execution-session lifecycle (stepping a finalised
+    session, registering an intervention after the run began, ...)."""
+
+
 # ---------------------------------------------------------------------------
 # Workload lab (repro.lab)
 # ---------------------------------------------------------------------------

@@ -60,6 +60,7 @@ from repro.lab.registry import (
     register_preset,
     register_timing,
 )
+from repro.lab.bisect import BisectResult, bisect_all_deal_boundary
 from repro.lab.store import (
     JsonlStore,
     MemoryStore,
@@ -111,6 +112,8 @@ __all__ = [
     "register_mix",
     "register_preset",
     "register_timing",
+    "BisectResult",
+    "bisect_all_deal_boundary",
     "JsonlStore",
     "MemoryStore",
     "RunStore",

@@ -33,8 +33,8 @@ benchmarks, and ad-hoc scripts all render the same shape.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.outcomes import ACCEPTABLE_OUTCOMES, Outcome
 from repro.errors import LabError
@@ -128,6 +128,9 @@ class RunFacts:
     completion_time: int | None
     stored_bytes: int | None
     wall_seconds: float | None
+    milestones: dict[str, int] | None = None
+    """Milestone counts recorded beside the report (1.5+ stores); ``None``
+    for failure records and entries recorded before the session API."""
 
 
 def timing_of(scenario: dict) -> str:
@@ -168,6 +171,7 @@ def entry_facts(key: str, entry: dict) -> RunFacts:
             completion_time=report.get("completion_time"),
             stored_bytes=report.get("stored_bytes"),
             wall_seconds=report.get("wall_seconds"),
+            milestones=entry.get("milestones"),
             **parse_lab_name(name),
         )
     scenario = entry.get("scenario", {})
@@ -256,6 +260,10 @@ class GroupStats:
     stored_bytes_mean: float | None
     wall_ms_total: float
     failures: dict[str, int]
+    milestone_means: dict[str, float] = field(default_factory=dict)
+    """Mean milestone count per kind, over the group's runs that carry
+    milestone data (entries recorded before the session API have none
+    and are excluded from the mean, not counted as zero)."""
 
     @property
     def all_deal_rate(self) -> float:
@@ -280,6 +288,7 @@ class GroupStats:
             "stored_bytes_mean": self.stored_bytes_mean,
             "wall_ms_total": self.wall_ms_total,
             "failures": dict(self.failures),
+            "milestone_means": dict(self.milestone_means),
         }
 
 
@@ -313,6 +322,15 @@ def aggregate(
             if f.completion_time is not None
         ]
         stored = [f.stored_bytes for f in succeeded if f.stored_bytes is not None]
+        with_milestones = [f for f in succeeded if f.milestones is not None]
+        milestone_totals: dict[str, float] = {}
+        for f in with_milestones:
+            for kind, count in f.milestones.items():
+                milestone_totals[kind] = milestone_totals.get(kind, 0.0) + count
+        milestone_means = {
+            kind: total / len(with_milestones)
+            for kind, total in sorted(milestone_totals.items())
+        }
         stats.append(
             GroupStats(
                 group=tuple(zip(by, values)),
@@ -332,6 +350,7 @@ def aggregate(
                 failures=dict(
                     Counter(f.error_type for f in members if not f.ok)
                 ),
+                milestone_means=milestone_means,
             )
         )
     return stats
@@ -419,12 +438,31 @@ def _fmt(value: float | None, spec: str = ".2f") -> str:
     return "-" if value is None else format(value, spec)
 
 
+#: Compact labels for the milestone column of ``stats_table``.
+_MILESTONE_SHORT = {
+    "phase1-start": "p1",
+    "contract-escrowed": "esc",
+    "secret-released": "sec",
+    "phase2-complete": "p2",
+    "settled": "end",
+}
+
+
+def _milestone_cell(means: Mapping[str, float] | None) -> str:
+    if not means:
+        return "-"
+    return ",".join(
+        f"{_MILESTONE_SHORT.get(kind, kind)}={mean:.1f}"
+        for kind, mean in means.items()
+    )
+
+
 def stats_table(
     stats: Sequence[GroupStats], by: Sequence[str]
 ) -> tuple[list[str], list[list[object]]]:
     """``(headers, rows)`` for :func:`format_rows` over aggregate output."""
     headers = [*by, "runs", "ok", "all-Deal", "Thm4.9-safe", "t mean",
-               "t p90", "bytes", "failures"]
+               "t p90", "bytes", "milestones", "failures"]
     rows: list[list[object]] = []
     for gs in stats:
         taxonomy = ",".join(
@@ -440,6 +478,7 @@ def stats_table(
                 _fmt(gs.completion_mean, ".1f"),
                 _fmt(gs.completion_p90, ".1f"),
                 _fmt(gs.stored_bytes_mean, ".0f"),
+                _milestone_cell(gs.milestone_means),
                 taxonomy or "-",
             ]
         )

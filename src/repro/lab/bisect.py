@@ -1,0 +1,192 @@
+"""Boundary bisection: where exactly does all-Deal stop holding?
+
+Theorem 4.2 guarantees all-``DEAL`` while every party's round trip fits
+within Δ; the ``stragglers``/``adaptive-stragglers`` timing models break
+that premise by a tunable factor (``violation``).  Somewhere between
+"just over 1" (absorbed by the protocol's deadline slack) and "several
+Δ" (hopeless) lies the boundary where the guarantee actually dies — a
+different place for every topology family, which is the interesting
+part.  :func:`bisect_all_deal_boundary` binary-searches the knob to
+that boundary.
+
+Built on the execution-session layer's cheap re-runs: every probe is an
+in-process ``Engine.open(scenario).run_to_completion()`` (no store, no
+process pool) over a small seeded panel, so one bisection costs
+``iters × seeds`` runs of a single small topology.
+
+The predicate "all seeds reach all-Deal" is treated as monotone in the
+knob.  The simulations are discrete, so it is not *perfectly* monotone
+— the returned bracket is the boundary of the bisection's trajectory,
+bounded by the observed ``holds_at_lo``/``fails_at_hi`` endpoints which
+the result reports explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.api.engine import get_engine
+from repro.api.scenario import Scenario
+from repro.api.sweep import derive_seed
+from repro.errors import LabError
+from repro.sim.timing import resolve_timing
+
+#: The knobs bisection currently understands, with their hard floors
+#: (violation <= 1 is not a violation at all).
+BISECTABLE_KNOBS: dict[str, float] = {"violation": 1.0}
+
+
+@dataclass(frozen=True)
+class BisectResult:
+    """One family's bisected all-Deal boundary."""
+
+    family: str
+    engine: str
+    timing_kind: str
+    knob: str
+    holds_until: float
+    """Lower end of the final search bracket.  With a genuine bracket
+    (``holds_at_lo and fails_at_hi``) this is the highest probed value
+    at which every seed reached all-Deal; otherwise it degenerates to
+    the deciding endpoint and no probed value is known to hold."""
+    breaks_from: float
+    """Upper end of the final search bracket — the lowest probed value
+    at which some seed missed all-Deal, when a genuine bracket exists;
+    otherwise the deciding endpoint."""
+    holds_at_lo: bool
+    """Whether the ``lo`` endpoint held.  ``False`` means the guarantee
+    was already broken at the bottom of the probed range (``hi`` was
+    not evaluated — the boundary, if any, lies below ``lo``)."""
+    fails_at_hi: bool
+    """Whether ``hi`` was observed to fail.  ``False`` either means
+    every probed value held (the boundary, if any, lies above ``hi``)
+    or — when ``holds_at_lo`` is also ``False`` — that ``hi`` was never
+    evaluated because ``lo`` already decided the question."""
+    seeds: tuple[int, ...]
+    evaluations: int
+    """Engine runs spent (≤ ``(iters + 2) × len(seeds)``)."""
+
+    @property
+    def bracketed(self) -> bool:
+        """Whether the boundary was actually pinned inside [lo, hi]."""
+        return self.holds_at_lo and self.fails_at_hi
+
+    @property
+    def boundary(self) -> float | None:
+        """The midpoint estimate of the all-Deal boundary, or ``None``
+        when the probed range never bracketed it (see :attr:`bracketed`)."""
+        if not self.bracketed:
+            return None
+        return (self.holds_until + self.breaks_from) / 2
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "family": self.family,
+            "engine": self.engine,
+            "timing_kind": self.timing_kind,
+            "knob": self.knob,
+            "holds_until": self.holds_until,
+            "breaks_from": self.breaks_from,
+            "boundary": self.boundary,
+            "holds_at_lo": self.holds_at_lo,
+            "fails_at_hi": self.fails_at_hi,
+            "seeds": list(self.seeds),
+            "evaluations": self.evaluations,
+        }
+
+
+def bisect_all_deal_boundary(
+    family: str,
+    knob: str = "violation",
+    engine: str = "herlihy",
+    timing_kind: str = "stragglers",
+    params: Mapping[str, Any] | None = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    lo: float = 1.05,
+    hi: float = 6.0,
+    iters: int = 8,
+    scenario_kwargs: Mapping[str, Any] | None = None,
+) -> BisectResult:
+    """Binary-search ``knob`` to the all-Deal boundary of one family.
+
+    For each probed value, one seeded panel runs: topology drawn from
+    the family (per seed), scenario seeded likewise, timing set to
+    ``{"kind": timing_kind, knob: value}``.  The value *holds* when
+    every panel run ends all-Deal.  Returns the final bracket after
+    ``iters`` halvings (or a degenerate bracket when an endpoint
+    already decides the question).
+    """
+    from repro.lab.registry import get_family
+
+    if knob not in BISECTABLE_KNOBS:
+        known = ", ".join(sorted(BISECTABLE_KNOBS))
+        raise LabError(f"knob {knob!r} is not bisectable; supported: {known}")
+    floor = BISECTABLE_KNOBS[knob]
+    if not floor < lo < hi:
+        raise LabError(
+            f"bisect needs {floor} < lo < hi, got lo={lo} hi={hi}"
+        )
+    if iters < 1:
+        raise LabError(f"bisect needs iters >= 1, got {iters}")
+    if not seeds:
+        raise LabError("bisect needs at least one seed")
+    topology_family = get_family(family)
+    if not topology_family.strongly_connected:
+        raise LabError(
+            f"family {family!r} is not strongly connected; no protocol "
+            "engine runs it, so it has no all-Deal boundary to bisect"
+        )
+    # Fail fast on a knob the timing kind cannot express.
+    resolve_timing({"kind": timing_kind, knob: (lo + hi) / 2})
+    get_engine(engine)
+
+    evaluations = 0
+
+    def holds(value: float) -> bool:
+        nonlocal evaluations
+        for seed in seeds:
+            topology = topology_family.generate(
+                params, seed=derive_seed(seed, f"bisect:{family}", 0)
+            )
+            scenario = Scenario(
+                topology=topology,
+                name=f"bisect:{family}:{knob}={value:.5f}#{seed}",
+                seed=seed,
+                timing={"kind": timing_kind, knob: value},
+                **dict(scenario_kwargs or {}),
+            )
+            evaluations += 1
+            if not get_engine(engine).open(scenario).run_to_completion().all_deal():
+                return False
+        return True
+
+    def result(holds_until: float, breaks_from: float,
+               holds_at_lo: bool, fails_at_hi: bool) -> BisectResult:
+        return BisectResult(
+            family=family,
+            engine=engine,
+            timing_kind=timing_kind,
+            knob=knob,
+            holds_until=holds_until,
+            breaks_from=breaks_from,
+            holds_at_lo=holds_at_lo,
+            fails_at_hi=fails_at_hi,
+            seeds=tuple(seeds),
+            evaluations=evaluations,
+        )
+
+    if not holds(lo):
+        # lo already decides the question; hi is never evaluated, so
+        # make no claim about it.
+        return result(lo, lo, holds_at_lo=False, fails_at_hi=False)
+    if holds(hi):
+        return result(hi, hi, holds_at_lo=True, fails_at_hi=False)
+    low, high = lo, hi
+    for _ in range(iters):
+        mid = (low + high) / 2
+        if holds(mid):
+            low = mid
+        else:
+            high = mid
+    return result(low, high, holds_at_lo=True, fails_at_hi=True)

@@ -5,6 +5,8 @@ Subcommands::
     lab run       expand a workload (preset or --family) and execute it
                   through the content-addressed store; warm re-runs
                   execute zero engines
+    lab bisect    binary-search a timing knob (stragglers `violation`)
+                  per topology family to the all-Deal boundary
     lab ls        list stored runs (key, engine, scenario, verdict)
     lab show      print one stored run by key prefix (--json for raw)
     lab diff      field-by-field comparison of two stored runs
@@ -22,6 +24,8 @@ Examples::
     python -m repro lab run --family erdos-renyi --grid n=6,8 p=0.2 \\
         --mix all-conforming --mix phase-crash --engine herlihy
     python -m repro lab run --preset smoke --timing jittered
+    python -m repro lab bisect --knob violation --family cycle --family clique
+    python -m repro lab bisect --family wheel --timing-kind adaptive-stragglers
     python -m repro lab ls
     python -m repro lab show 3f2a
     python -m repro lab diff 3f2a 9c41
@@ -173,9 +177,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ]
     # --seed replaces every workload's seed; unset keeps their defaults.
     sweep = build_sweep(workloads, name=title, base_seed=args.seed)
+    progress = _progress_printer() if args.progress else None
     if args.no_store:
         report = run_sweep(
-            sweep, parallel=not args.serial, max_workers=args.workers
+            sweep, parallel=not args.serial, max_workers=args.workers,
+            progress=progress,
         )
         print(report.summary())
         print(f"store: disabled (--no-store) — executed {report.executed}")
@@ -186,6 +192,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             parallel=not args.serial,
             max_workers=args.workers,
             store=store,
+            progress=progress,
         )
         total = len(store)
     print(report.summary())
@@ -193,6 +200,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"store: {args.store} — executed {report.executed}, "
         f"cached {report.cached}, {total} run(s) stored"
     )
+    return 0
+
+
+def _progress_printer():
+    """A ``run_sweep(progress=...)`` callback printing one line per tick."""
+
+    def show(tick) -> None:
+        milestones = ",".join(
+            f"{kind.split('-')[0]}={count}"
+            for kind, count in sorted(tick.milestones.items())
+        )
+        note = f" [{milestones}]" if milestones else ""
+        if tick.fresh:
+            print(f"  {tick.completed}/{tick.total} (+{tick.fresh}){note}")
+        else:
+            print(f"  {tick.completed}/{tick.total} ({tick.cached} cached)")
+
+    return show
+
+
+#: Families `lab bisect` maps when none are named: small, strongly
+#: connected, and spanning one-leader / max-leader / two-leader shapes.
+_DEFAULT_BISECT_FAMILIES = ("cycle", "clique", "wheel")
+
+
+def _cmd_bisect(args: argparse.Namespace) -> int:
+    from repro.lab.bisect import bisect_all_deal_boundary
+
+    families = tuple(args.family) if args.family else _DEFAULT_BISECT_FAMILIES
+    grid = _parse_grid(args.grid)
+    swept = [k for k, v in grid.items() if isinstance(v, list)]
+    if swept:
+        raise LabError(
+            f"lab bisect probes one topology per family; --grid "
+            f"{', '.join(swept)} must be single values (the swept knob "
+            f"is --knob {args.knob})"
+        )
+    results = [
+        bisect_all_deal_boundary(
+            family,
+            knob=args.knob,
+            engine=args.engine,
+            timing_kind=args.timing_kind,
+            params=grid or None,
+            seeds=tuple(range(args.seeds)),
+            lo=args.lo,
+            hi=args.hi,
+            iters=args.iters,
+        )
+        for family in families
+    ]
+    if args.json:
+        print(json.dumps(
+            {"knob": args.knob, "results": [r.to_dict() for r in results]},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    rows = []
+    for r in results:
+        if not r.holds_at_lo:
+            verdict = f"already broken at {r.holds_until:g}"
+        elif not r.fails_at_hi:
+            verdict = f"still holds at {r.breaks_from:g}"
+        else:
+            verdict = f"~{r.boundary:.3f}"
+        rows.append([
+            r.family, r.engine, r.timing_kind,
+            f"{r.holds_until:.3f}", f"{r.breaks_from:.3f}",
+            verdict, r.evaluations,
+        ])
+    print(_format_rows(
+        ["family", "engine", "timing", "holds ≤", "breaks ≥",
+         f"{args.knob} boundary", "runs"],
+        rows,
+    ))
     return 0
 
 
@@ -243,6 +325,11 @@ def _cmd_show(args: argparse.Namespace) -> int:
         f"{report.conforming_acceptable()}  events: {report.events_fired}  "
         f"stored bytes: {report.stored_bytes}"
     )
+    milestones = entry.get("milestones")
+    if milestones:
+        print("milestones: " + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(milestones.items())
+        ))
     return 0
 
 
@@ -467,6 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="replace every workload's seed (re-rolls topologies and mixes)",
     )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="print per-chunk completion (with milestone counts) as "
+             "results land",
+    )
     run.add_argument("--serial", action="store_true", help="skip the process pool")
     run.add_argument("--workers", type=int, default=None)
     run.add_argument(
@@ -475,6 +567,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_arg(run)
     run.set_defaults(func=_cmd_run)
+
+    bisect = sub.add_parser(
+        "bisect",
+        help="binary-search a timing knob to the all-Deal boundary "
+             "per topology family",
+    )
+    bisect.add_argument(
+        "--knob", default="violation",
+        help="the timing parameter to bisect (currently: violation)",
+    )
+    bisect.add_argument(
+        "--family", action="append",
+        help="topology family (repeatable; default: "
+             + ", ".join(_DEFAULT_BISECT_FAMILIES) + ")",
+    )
+    bisect.add_argument(
+        "--grid", nargs="*", default=[], metavar="K=V",
+        help="family params (single values only — the knob is the sweep)",
+    )
+    bisect.add_argument("--engine", default="herlihy")
+    bisect.add_argument(
+        "--timing-kind", default="stragglers",
+        help="timing model the knob belongs to "
+             "(stragglers | adaptive-stragglers)",
+    )
+    bisect.add_argument(
+        "--seeds", type=int, default=3,
+        help="panel size: seeds 0..N-1 must all reach all-Deal to 'hold'",
+    )
+    bisect.add_argument("--lo", type=float, default=1.05)
+    bisect.add_argument("--hi", type=float, default=6.0)
+    bisect.add_argument(
+        "--iters", type=int, default=8, help="bisection halvings"
+    )
+    bisect.add_argument("--json", action="store_true", help="machine-readable")
+    bisect.set_defaults(func=_cmd_bisect)
 
     ls = sub.add_parser("ls", help="list stored runs")
     ls.add_argument("--engine", help="only runs of this engine")

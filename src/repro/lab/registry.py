@@ -307,6 +307,25 @@ for _timing in (
         "two seeded parties violate the Δ assumption together",
         {"kind": "stragglers", "count": 2},
     ),
+    TimingProfile(
+        "adaptive-stragglers",
+        "one seeded party conforms until `secret-released`, then spends "
+        "the whole violation budget at once (milestone intervention; "
+        "strictly nastier than static at moderate budgets)",
+        {"kind": "adaptive-stragglers"},
+    ),
+    TimingProfile(
+        "adaptive-stragglers-tight",
+        "the adaptive straggler at the violation=2 boundary budget, "
+        "where static stragglers still mostly complete all-Deal",
+        {"kind": "adaptive-stragglers", "violation": 2.0},
+    ),
+    TimingProfile(
+        "stragglers-tight",
+        "the static straggler at the violation=2 boundary budget "
+        "(head-to-head partner of adaptive-stragglers-tight)",
+        {"kind": "stragglers", "violation": 2.0},
+    ),
 ):
     register_timing(_timing)
 
@@ -363,6 +382,13 @@ register_preset(
              scenario_kwargs={"exact_limit": 10}),
     Workload("cycle", {"n": 4}, engines=("single-leader", "2pc"),
              timings=("uniform", "jittered", "stragglers")),
+    # Appended after the originals so their run keys never shift: the
+    # adaptive-vs-static head-to-head at the same violation budget,
+    # over the topology where the gap is starkest (clique, v=2).
+    Workload("clique", {"n": 4},
+             timings=("stragglers-tight", "adaptive-stragglers-tight")),
+    Workload("cycle", {"n": 5},
+             timings=("stragglers-tight", "adaptive-stragglers-tight")),
 )
 
 register_preset(

@@ -41,7 +41,7 @@ from repro.crypto.hashing import sha256
 from repro.crypto.keys import KeyDirectory, KeyPair
 from repro.digraph.digraph import Arc, Digraph, Vertex
 from repro.digraph.paths import is_strongly_connected
-from repro.errors import NotStronglyConnectedError, SimulationError
+from repro.errors import NotStronglyConnectedError, SimulationError, TimingError
 from repro.sim import trace as tr
 from repro.sim.process import Process, ReactionProfile
 from repro.sim.scheduler import Scheduler
@@ -101,6 +101,7 @@ class SimulationHarness:
         action_fraction: float,
         seed: int = 0,
         timing: Any = None,
+        chain_delays: Mapping[str, int] | None = None,
         include_broadcast: bool = False,
         asset_values: Mapping[Arc, int] | None = None,
         require_strongly_connected: bool = True,
@@ -113,6 +114,9 @@ class SimulationHarness:
             )
         self.digraph = digraph
         self.delta = delta
+        self.seed = seed
+        self.reaction_fraction = reaction_fraction
+        self.action_fraction = action_fraction
         self.timing: TimingModel = resolve_timing(timing)
 
         self.network = ChainNetwork.for_digraph(
@@ -141,8 +145,40 @@ class SimulationHarness:
             seed=seed,
         )
 
+        #: Per-chain confirmation lag (ticks) added to every observation
+        #: of that chain's records — the *chain-side* Δ, as opposed to
+        #: the party-side latencies timing models draw.  Keys are arc
+        #: labels (``"head->tail"``) or ``"broadcast"``.
+        self.chain_delays: dict[str, int] = dict(chain_delays or {})
+        self._chain_lag = self._resolve_chain_delays(self.chain_delays)
+
         self.parties: dict[Vertex, Any] = {}
         self._ran = False
+
+    def _resolve_chain_delays(self, delays: Mapping[str, int]) -> dict[str, int]:
+        """Map ``"head->tail"``/``"broadcast"`` keys to chain ids."""
+        from repro.chain.network import chain_id_for_arc
+
+        known_arcs = set(self.digraph.arcs)
+        lag: dict[str, int] = {}
+        for key, delay in delays.items():
+            if not isinstance(delay, int) or delay < 0:
+                raise SimulationError(
+                    f"chain delay for {key!r} must be a non-negative tick "
+                    f"count, got {delay!r}"
+                )
+            if key == BROADCAST_CHAIN_ID:
+                lag[BROADCAST_CHAIN_ID] = delay
+                continue
+            head, sep, tail = key.partition("->")
+            if not sep or (head, tail) not in known_arcs:
+                raise SimulationError(
+                    f"chain delay key {key!r} names no arc of the topology; "
+                    f"use 'head->tail' for one of {sorted(known_arcs)} "
+                    f"or 'broadcast'"
+                )
+            lag[chain_id_for_arc((head, tail))] = delay
+        return lag
 
     @classmethod
     def for_config(
@@ -158,6 +194,7 @@ class SimulationHarness:
             action_fraction=config.action_fraction,
             seed=config.seed,
             timing=getattr(config, "timing", None),
+            chain_delays=getattr(config, "chain_delays", None),
             **kwargs,
         )
 
@@ -215,7 +252,10 @@ class SimulationHarness:
         ``broadcast_to_all`` additionally routes the broadcast chain to
         every party.  Observation latency is each watcher's own
         ``reaction_delay`` — which is exactly where a timing model's
-        per-party draws enter the event loop.
+        per-party draws enter the event loop — plus the chain's
+        configured confirmation lag (``chain_delays``): a record on a
+        slow chain reaches *every* watcher later, modelling per-chain
+        confirmation depth rather than per-party sluggishness.
         """
         extra = list(extra_watchers)
         relevant: dict[str, list[Any]] = {}
@@ -227,13 +267,15 @@ class SimulationHarness:
             )
         if broadcast_to_all:
             relevant[BROADCAST_CHAIN_ID] = list(self.parties.values())
+        chain_lag = self._chain_lag
 
         def on_record(chain: Blockchain, record: Record, now: int) -> None:
+            lag = chain_lag.get(chain.chain_id, 0)
             for watcher in relevant.get(chain.chain_id, ()):
                 if watcher.is_halted:
                     continue
                 watcher.wake_after(
-                    watcher.profile.reaction_delay,
+                    watcher.profile.reaction_delay + lag,
                     lambda w=watcher, c=chain, r=record, t=now: w.on_chain_record(c, r, t),
                     label=f"{getattr(watcher, 'address', watcher.name)}:observe",
                 )
@@ -242,9 +284,10 @@ class SimulationHarness:
 
     # -- running ------------------------------------------------------------------------
 
-    def run_to_quiescence(self, start_time: int) -> int:
-        """Schedule every party's ``start`` at ``start_time`` and drain
-        the event queue; returns the number of events fired."""
+    def begin(self, start_time: int) -> None:
+        """Schedule every party's ``start`` at ``start_time`` without
+        draining the queue — the execution-session layer then drives the
+        scheduler itself (``step()``-wise or wholesale).  One-shot."""
         if self._ran:
             raise SimulationError("a SimulationHarness instance runs once")
         self._ran = True
@@ -254,6 +297,18 @@ class SimulationHarness:
                 lambda p=party: None if p.is_halted else p.start(),
                 label=f"{vertex}:start",
             )
+
+    def run_to_quiescence(self, start_time: int) -> int:
+        """Schedule every party's ``start`` at ``start_time`` and drain
+        the event queue; returns the number of events fired."""
+        if self.timing.requires_session:
+            raise TimingError(
+                f"timing model {self.timing.kind!r} intervenes at protocol "
+                "milestones and needs the execution-session API; run the "
+                "scenario through Engine.open()/Engine.run() instead of a "
+                "direct simulation runner"
+            )
+        self.begin(start_time)
         return self.scheduler.run()
 
     # -- metrics ------------------------------------------------------------------------

@@ -62,6 +62,42 @@ class Scheduler:
 
     # -- running -----------------------------------------------------------------
 
+    def _fire_next(self) -> Event:
+        """Pop, clock-advance, budget-check, and fire the next event.
+
+        The single firing core shared by :meth:`run` and :meth:`step` —
+        one implementation is what guarantees a stepped session fires
+        the byte-identical event sequence of a wholesale run.
+        """
+        event = heapq.heappop(self._queue)
+        self.clock.advance_to(event.time)
+        self._fired += 1
+        if self._fired > self._max_events:
+            raise SchedulerError(
+                f"event budget exceeded ({self._max_events}); "
+                "likely a livelock in a party strategy"
+            )
+        event.fire()
+        return event
+
+    def step(self) -> Event | None:
+        """Fire exactly the next event; returns it (``None`` when drained).
+
+        Shares the clock, ordering, and event budget with :meth:`run` —
+        a run driven step-by-step fires the identical event sequence.
+        This is what the execution-session layer uses to pause at
+        protocol milestones.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is not re-entrant")
+        if not self._queue:
+            return None
+        self._running = True
+        try:
+            return self._fire_next()
+        finally:
+            self._running = False
+
     def run(self, horizon: int | None = None) -> int:
         """Fire events in order until the queue drains or ``horizon`` passes.
 
@@ -76,16 +112,8 @@ class Scheduler:
             while self._queue:
                 if horizon is not None and self._queue[0].time > horizon:
                     break
-                event = heapq.heappop(self._queue)
-                self.clock.advance_to(event.time)
-                self._fired += 1
+                self._fire_next()
                 fired += 1
-                if self._fired > self._max_events:
-                    raise SchedulerError(
-                        f"event budget exceeded ({self._max_events}); "
-                        "likely a livelock in a party strategy"
-                    )
-                event.fire()
             if horizon is not None and self.clock.now < horizon and not self._queue:
                 self.clock.advance_to(horizon)
         finally:

@@ -25,6 +25,14 @@ instead of a hard-coded constant:
     no-Underwater guarantees actually break once parties are slower
     than the protocol's deadlines assume.
 
+``adaptive-stragglers``
+    The same seeded victims as ``stragglers``, but conforming until the
+    protocol milestone named by ``at`` (default ``secret-released``)
+    and then spending the same time-integrated violation budget all at
+    once — a milestone *intervention* registered through the
+    execution-session API (:meth:`TimingModel.install`), so this model
+    only runs under ``Engine.open``/``Engine.run``.
+
 Models serialize to plain dicts (``{"kind": ..., **params}``) so they
 can ride inside a :class:`repro.api.Scenario`, participate in run-key
 hashing, and cross process boundaries.  Everything is deterministic in
@@ -59,6 +67,21 @@ class TimingModel(ABC):
 
     #: Registry key; subclasses must override.
     kind: str = ""
+
+    #: Whether the model intervenes mid-run (at protocol milestones) and
+    #: therefore only runs under the execution-session API
+    #: (:meth:`repro.api.Engine.open`); static models leave this False.
+    requires_session: bool = False
+
+    def install(self, execution: Any) -> None:
+        """Session hook: register probes/interventions on an
+        :class:`repro.api.execution.Execution` before it starts.
+
+        Called once by the execution session for every run.  Static
+        models (everything whose behaviour is fully described by
+        :meth:`profiles`) do nothing here; adaptive models register
+        milestone interventions that mutate party profiles mid-run.
+        """
 
     @abstractmethod
     def profiles(
@@ -211,7 +234,13 @@ class StragglerTiming(TimingModel):
         }
 
     def straggler_set(self, vertices: Iterable[str], seed: int) -> frozenset[str]:
-        """Which parties violate Δ for this (vertices, seed) pair."""
+        """Which parties violate Δ for this (vertices, seed) pair.
+
+        Seeded under the base ``"stragglers"`` label for *every*
+        subclass, so the static and adaptive models pick the same
+        victims at the same seed — head-to-head comparisons vary only
+        *when* the budget is spent, never *who* spends it.
+        """
         pool = sorted(vertices)
         if self.parties is not None:
             unknown = [p for p in self.parties if p not in set(pool)]
@@ -221,8 +250,17 @@ class StragglerTiming(TimingModel):
                     f"topology has {pool}"
                 )
             return frozenset(self.parties)
-        rng = Random(_sub_seed(seed, self.kind))
+        rng = Random(_sub_seed(seed, StragglerTiming.kind))
         return frozenset(rng.sample(pool, min(self.count, len(pool))))
+
+    def slow_profile(self, delta: int) -> ReactionProfile:
+        """The violating profile: a ``violation × Δ`` round trip, split
+        evenly between reaction and action."""
+        round_trip = max(delta + 1, ticks(delta, self.violation))
+        return ReactionProfile(
+            reaction_delay=round_trip // 2,
+            action_delay=round_trip - round_trip // 2,
+        )
 
     def profiles(
         self,
@@ -238,15 +276,107 @@ class StragglerTiming(TimingModel):
         base = ReactionProfile.fractions(
             delta, reaction_fraction, action_fraction
         )
-        round_trip = max(delta + 1, ticks(delta, self.violation))
-        slow = ReactionProfile(
-            reaction_delay=round_trip // 2,
-            action_delay=round_trip - round_trip // 2,
-        )
+        slow = self.slow_profile(delta)
         return {
             vertex: slow if vertex in stragglers else base
             for vertex in vertices
         }
+
+
+class AdaptiveStragglerTiming(StragglerTiming):
+    """Stragglers that conform until a protocol milestone, then violate.
+
+    The same seeded straggler choice as :class:`StragglerTiming`, but
+    the chosen parties start with the *uniform conforming* profile and
+    only adopt a violating one when the milestone named by ``at``
+    (default ``secret-released``; see :mod:`repro.sim.milestones`)
+    first fires — the adversary behaves impeccably through Phase One,
+    lets every contract get escrowed, and goes slow exactly when the
+    secrets start to flow and the Δ-gapped relay deadlines are live.
+
+    ``violation`` is the same *time-integrated budget* as the static
+    model's: a static straggler spends ``(violation−1)·Δ`` of excess
+    latency on every interaction across both phases, so the adaptive
+    straggler — active for only the post-trigger half of the run —
+    concentrates a doubled per-step excess (round trip
+    ``base + 2·(violation−1)·Δ``-ish) into the window where it does
+    damage.  Holding the budget fixed is what makes the comparison
+    meaningful: same total slowness, different placement.
+
+    Requires the execution-session API (``Engine.open``/``run``): the
+    profile swap is a registered milestone intervention, so a direct
+    ``run_to_quiescence`` refuses this model rather than silently
+    running it as uniform.
+    """
+
+    kind = "adaptive-stragglers"
+    requires_session = True
+
+    def __init__(
+        self,
+        count: int = 1,
+        violation: float = 3.0,
+        parties: Sequence[str] | None = None,
+        at: str = "secret-released",
+    ) -> None:
+        super().__init__(count=count, violation=violation, parties=parties)
+        from repro.sim.milestones import MILESTONE_KINDS, SETTLED
+
+        if at not in MILESTONE_KINDS or at == SETTLED:
+            usable = ", ".join(k for k in MILESTONE_KINDS if k != SETTLED)
+            raise TimingError(
+                f"adaptive-stragglers cannot trigger at {at!r}; "
+                f"usable milestones: {usable}"
+            )
+        self.at = str(at)
+
+    def params(self) -> dict[str, Any]:
+        return {**super().params(), "at": self.at}
+
+    def adaptive_profile(self, delta: int, base: ReactionProfile) -> ReactionProfile:
+        """The post-trigger profile: the static model's excess over the
+        *configured* baseline, doubled (same budget, spent in one
+        phase).  ``install()`` computes it from the harness's actual
+        base profile, so non-default reaction/action fractions are
+        honoured — there is deliberately no base-free accessor that
+        could disagree with what the intervention installs."""
+        static_round_trip = max(delta + 1, ticks(delta, self.violation))
+        excess = max(1, static_round_trip - base.round_trip)
+        round_trip = base.round_trip + 2 * excess
+        return ReactionProfile(
+            reaction_delay=round_trip // 2,
+            action_delay=round_trip - round_trip // 2,
+        )
+
+    def profiles(
+        self,
+        vertices: Iterable[str],
+        *,
+        delta: int,
+        reaction_fraction: float,
+        action_fraction: float,
+        seed: int,
+    ) -> dict[str, ReactionProfile]:
+        # Conforming until the trigger: everyone starts on the uniform
+        # baseline; the install()ed intervention swaps the stragglers'
+        # profiles mid-run.
+        profile = ReactionProfile.fractions(
+            delta, reaction_fraction, action_fraction
+        )
+        return {vertex: profile for vertex in vertices}
+
+    def install(self, execution: Any) -> None:
+        harness = execution.harness
+        stragglers = self.straggler_set(harness.digraph.vertices, harness.seed)
+        slow = self.adaptive_profile(harness.delta, harness.base_profile)
+
+        def turn_stragglers(execution: Any, milestone: Any) -> None:
+            for vertex in stragglers:
+                party = harness.parties.get(vertex)
+                if party is not None and not party.is_halted:
+                    party.profile = slow
+
+        execution.intervene(self.at, turn_stragglers, once=True)
 
 
 #: kind -> model class; third parties may register their own.
@@ -254,6 +384,7 @@ TIMING_KINDS: dict[str, type[TimingModel]] = {
     UniformTiming.kind: UniformTiming,
     JitteredTiming.kind: JitteredTiming,
     StragglerTiming.kind: StragglerTiming,
+    AdaptiveStragglerTiming.kind: AdaptiveStragglerTiming,
 }
 
 

@@ -55,6 +55,16 @@ class Trace:
             return list(self._events)
         return [e for e in self._events if e.kind == kind]
 
+    def events_since(self, index: int) -> list[TraceEvent]:
+        """Events appended at or after position ``index``.
+
+        A tail slice (cost proportional to the *new* events), so
+        incremental consumers — the milestone tracker polls after every
+        scheduler event — stay linear overall instead of re-copying the
+        whole log each time.
+        """
+        return self._events[index:]
+
     def first(self, kind: str, **match: Any) -> TraceEvent | None:
         for event in self._events:
             if event.kind != kind:
