@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke bench lab-smoke
+.PHONY: test smoke bench-smoke bench lab-smoke serve serve-bench
 
 test:            ## full tier-1 suite
 	$(PY) -m pytest -x -q
@@ -20,3 +20,9 @@ bench:           ## the full figure-by-figure benchmark suite
 
 lab-smoke:       ## the lab smoke preset through the run store
 	$(PY) -m repro lab run --preset smoke
+
+serve:           ## the long-lived swap service daemon
+	$(PY) -m repro serve
+
+serve-bench:     ## load-generate against an in-process daemon (bench E27's CLI twin)
+	$(PY) -m repro serve-bench

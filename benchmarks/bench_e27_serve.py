@@ -1,0 +1,119 @@
+"""E27 — the swap service's envelope: sustained throughput and latency.
+
+PR 6 added ``repro.serve``: a long-lived daemon accepting scenario
+submissions over HTTP, streaming milestone events to subscribers, with
+the content-addressed run store doubling as a warm cache.  This bench is
+the load generator against a real daemon (TCP, not in-process calls):
+``CLIENTS`` threads blast ``SCENARIOS`` distinct seeded swaps through
+submission + long-poll-to-settled, measuring
+
+* sustained scenarios/sec through the admission queue and worker pool,
+* p50/p99 submit-to-settled wall latency, and
+* the warm-resubmission envelope — every scenario resubmitted must be
+  answered from the store with **zero** engines executed (asserted),
+  which is the service-level form of the lab's warm-re-run guarantee.
+
+``python -m repro serve-bench`` is the CLI twin of this bench (same
+``sample_scenarios`` workload, same ``run_load`` measurement core); the
+recorded artifact is ``benchmarks/results/BENCH_E27.json``.
+"""
+
+from __future__ import annotations
+
+from _tables import emit_bench_json, emit_table
+
+from repro.api.report import RunReport
+from repro.serve.client import BackgroundServer, run_load, sample_scenarios
+from repro.serve.service import ServiceConfig, SwapService
+
+SCENARIOS = 32
+CLIENTS = 4
+CONCURRENCY = 4
+
+
+def load() -> tuple[dict, dict, list[RunReport]]:
+    config = ServiceConfig(
+        max_pending=2 * SCENARIOS,
+        max_concurrency=CONCURRENCY,
+        rate=0.0,  # measure the pool, not the limiter
+    )
+    scenarios = sample_scenarios(SCENARIOS)
+    with BackgroundServer(SwapService(config)) as bg:
+        cold = run_load(
+            bg.host, bg.port, scenarios, engine="herlihy", clients=CLIENTS
+        )
+        executed_before = bg.client().status()["executed"]
+        warm = run_load(
+            bg.host, bg.port, scenarios, engine="herlihy", clients=CLIENTS
+        )
+        warm["engines_executed"] = bg.client().status()["executed"] - executed_before
+        service = bg.server.service
+        reports = [
+            RunReport.from_dict(service.store.get(key)["report"])
+            for key in sorted(service._jobs)
+            if (service.store.get(key) or {}).get("ok")
+        ]
+    return cold, warm, reports
+
+
+def test_serve_envelope(benchmark):
+    cold, warm, reports = benchmark.pedantic(load, rounds=1, iterations=1)
+
+    # The tentpole guarantees, asserted where they are measured:
+    assert cold["outcomes"]["settled"] == SCENARIOS
+    assert cold["outcomes"]["failed"] == 0
+    assert warm["outcomes"]["cached"] == SCENARIOS
+    assert warm["engines_executed"] == 0, "warm resubmission ran an engine"
+    assert cold["throughput_per_sec"] > 0
+    assert cold["latency_seconds"]["p99"] is not None
+
+    def row(label, results):
+        latency = results["latency_seconds"]
+        return [
+            label,
+            results["outcomes"]["settled"],
+            results["outcomes"]["cached"],
+            results.get("engines_executed", results["daemon"]["executed"]),
+            f"{results['throughput_per_sec']:.1f}",
+            f"{latency['p50'] * 1000:.1f}",
+            f"{latency['p99'] * 1000:.1f}",
+        ]
+
+    emit_table(
+        "E27",
+        f"serve envelope: {SCENARIOS} scenarios, {CLIENTS} clients, "
+        f"{CONCURRENCY} worker slots",
+        ["pass", "settled", "cached", "engines", "scen/s", "p50 ms", "p99 ms"],
+        [row("cold", cold), row("warm resubmit", warm)],
+        notes=(
+            "Cold: every submission drives one execution session; "
+            "milestones stream to subscribers as they fire.  Warm: the "
+            "content-addressed store answers every resubmission with the "
+            "stored report — zero engines executed — so a daemon restart "
+            "(or a lab sweep over the same store) never re-pays for a "
+            "seen scenario."
+        ),
+    )
+    emit_bench_json(
+        "E27",
+        reports,
+        aggregates={
+            "scenarios": SCENARIOS,
+            "clients": CLIENTS,
+            "concurrency": CONCURRENCY,
+            "cold": {
+                "throughput_per_sec": cold["throughput_per_sec"],
+                "latency_p50_ms": cold["latency_seconds"]["p50"] * 1000,
+                "latency_p99_ms": cold["latency_seconds"]["p99"] * 1000,
+                "outcomes": cold["outcomes"],
+            },
+            "warm": {
+                "throughput_per_sec": warm["throughput_per_sec"],
+                "latency_p50_ms": warm["latency_seconds"]["p50"] * 1000,
+                "latency_p99_ms": warm["latency_seconds"]["p99"] * 1000,
+                "outcomes": warm["outcomes"],
+                "engines_executed": warm["engines_executed"],
+            },
+            "daemon": cold["daemon"],
+        },
+    )

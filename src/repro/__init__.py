@@ -43,6 +43,9 @@ Submodules (see DESIGN.md for the full inventory):
   adversary mixes) and the content-addressed run store that makes sweeps
   resumable (``run_sweep(..., store=...)``; warm re-runs execute zero
   engines).
+* :mod:`repro.serve`    — the long-lived swap service: an asyncio daemon
+  (``python -m repro serve``) with admission control, streaming milestone
+  subscriptions, and the run store as a warm cache.
 
 The most common entry points are re-exported at the top level.
 """
@@ -79,7 +82,7 @@ from repro.errors import ReproError, ScenarioError, UnknownEngineError
 from repro.lab import RunStore, Workload, build_sweep, open_store
 from repro.sim.faults import Crash, CrashPoint, FaultPlan
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ACCEPTABLE_OUTCOMES",

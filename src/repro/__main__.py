@@ -12,6 +12,12 @@
   re-runs execute zero engines), inspect or compare stored runs,
   aggregate cross-sweep statistics, and merge sharded stores.
   ``python -m repro lab --help`` lists the options.
+* ``python -m repro serve`` — the long-lived swap service
+  (:mod:`repro.serve`): HTTP scenario submissions with admission
+  control, streaming milestone subscriptions, store-backed warm cache;
+* ``python -m repro serve-bench`` — the E27 load generator against an
+  in-process daemon: sustained scenarios/sec and p99 submit-to-settled
+  latency.
 """
 
 import sys
@@ -58,6 +64,75 @@ def bench_smoke() -> int:
     return 0
 
 
+def serve_bench(argv: list[str]) -> int:
+    """Boot an in-process daemon and measure its service envelope."""
+    import argparse
+    import json
+
+    from repro.lab.store import open_store
+    from repro.serve.client import BackgroundServer, run_load, sample_scenarios
+    from repro.serve.service import ServiceConfig, SwapService
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description="load-generate against an in-process repro serve daemon",
+    )
+    parser.add_argument("--scenarios", type=int, default=64)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="per-client rate limit (0 = unlimited)")
+    parser.add_argument("--engine", default="herlihy")
+    parser.add_argument("--store", default=":memory:")
+    parser.add_argument("--json", dest="json_path", default="",
+                        help="also write the results document to this path")
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig(
+        max_pending=args.queue_depth,
+        max_concurrency=args.concurrency,
+        rate=args.rate,
+        default_engine=args.engine,
+    )
+    scenarios = sample_scenarios(args.scenarios)
+    with BackgroundServer(SwapService(config, store=open_store(args.store))) as bg:
+        results = run_load(
+            bg.host, bg.port, scenarios, engine=args.engine, clients=args.clients
+        )
+        # Warm resubmission: every scenario is now stored, so a second
+        # pass must be served entirely from cache (zero engines).
+        before = bg.client().status()["executed"]
+        warm = run_load(
+            bg.host, bg.port, scenarios, engine=args.engine, clients=args.clients
+        )
+        results["warm"] = {
+            "outcomes": warm["outcomes"],
+            "throughput_per_sec": warm["throughput_per_sec"],
+            "engines_executed": bg.client().status()["executed"] - before,
+        }
+    latency = results["latency_seconds"]
+    print(
+        f"serve-bench: {results['scenarios']} scenarios, "
+        f"{results['clients']} client(s): "
+        f"{results['throughput_per_sec']:.1f}/s sustained, "
+        f"p50 {latency['p50'] * 1000:.1f}ms, p99 {latency['p99'] * 1000:.1f}ms"
+    )
+    print(
+        f"warm resubmission: {warm['outcomes']['cached']} cached, "
+        f"{results['warm']['engines_executed']} engine(s) executed, "
+        f"{results['warm']['throughput_per_sec']:.1f}/s"
+    )
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    if results["warm"]["engines_executed"] != 0:
+        print("FAILED: warm resubmission executed an engine")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     # Unrecognised arguments fall through to the demo so the module stays
     # runnable under harnesses (runpy, pytest) that leave their own argv.
@@ -68,6 +143,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lab.cli import main as lab_main
 
         return lab_main(args[1:])
+    if args and args[0] == "serve":
+        from repro.serve.http import main as serve_main
+
+        return serve_main(args[1:])
+    if args and args[0] == "serve-bench":
+        return serve_bench(args[1:])
     return demo()
 
 

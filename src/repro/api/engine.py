@@ -17,8 +17,8 @@ points:
 Engines implement :meth:`Engine.prepare`, returning a
 :class:`~repro.api.execution.PreparedSimulation` (the assembled
 harness, the protocol start time, and the result classifier).  The
-pre-1.5 :meth:`Engine.execute` — run the native simulation to
-completion, return its native result — survives as a deprecation shim.
+pre-1.5 ``Engine.execute()`` one-shot hook — deprecated in 1.5.0 — is
+gone; the native result of a run is ``run(scenario).raw``.
 
 Engines are looked up by name (:func:`get_engine`), so benchmarks and
 sweeps can treat protocols as interchangeable modules and iterate over
@@ -30,12 +30,10 @@ registered name.
 from __future__ import annotations
 
 import time
-import warnings
 from abc import ABC
-from typing import Any
 
 from repro.api.execution import Execution, PreparedSimulation
-from repro.api.report import RunReport, wall_clock
+from repro.api.report import RunReport
 from repro.api.scenario import Scenario
 from repro.errors import EngineError, UnknownEngineError
 
@@ -48,9 +46,7 @@ class Engine(ABC):
     Subclasses implement :meth:`prepare`, assembling (but not running)
     their simulation; :meth:`open` wraps the result in an
     :class:`~repro.api.execution.Execution` session and :meth:`run`
-    drives that session to a :class:`RunReport`.  Legacy subclasses
-    that only override :meth:`execute` keep working through the old
-    one-shot path.
+    drives that session to a :class:`RunReport`.
     """
 
     #: Registry key; subclasses must override.
@@ -62,7 +58,7 @@ class Engine(ABC):
     def prepare(self, scenario: Scenario) -> PreparedSimulation:
         """Assemble the simulation for ``scenario`` without running it."""
         raise NotImplementedError(
-            f"{type(self).__name__} implements neither prepare() nor execute()"
+            f"{type(self).__name__} does not implement prepare()"
         )
 
     def open(self, scenario: Scenario) -> Execution:
@@ -74,41 +70,23 @@ class Engine(ABC):
         """
         if type(self).prepare is Engine.prepare:
             raise EngineError(
-                f"engine {self.name!r} predates the execution-session API "
-                "(it overrides execute() only); implement prepare() to "
-                "support open()"
+                f"engine {self.name!r} does not implement prepare(); "
+                "every engine must support the execution-session API "
+                "(the pre-1.5 execute()-only contract was removed in "
+                "1.6.0)"
             )
         started = time.perf_counter()
         return Execution(self.name, scenario, self.prepare(scenario), started)
 
     def run(self, scenario: Scenario) -> RunReport:
-        """Execute ``scenario`` and return the unified :class:`RunReport`."""
-        if type(self).prepare is not Engine.prepare:
-            return self.open(scenario).run_to_completion()
-        if type(self).execute is Engine.execute:
-            raise EngineError(
-                f"{type(self).__name__} implements neither prepare() nor "
-                "execute()"
-            )
-        with wall_clock() as wall:
-            result = self.execute(scenario)
-        return RunReport.from_result(self.name, scenario, result, wall.seconds)
+        """Execute ``scenario`` and return the unified :class:`RunReport`.
 
-    def execute(self, scenario: Scenario) -> Any:
-        """Deprecated: run the simulation, returning its native result.
-
-        Kept for one release of backward compatibility; new code opens a
-        session (``open(scenario).run_to_completion().raw``) or calls
-        :meth:`run`.
+        Literally ``open(scenario).run_to_completion()`` — the one-shot
+        contract and the session lifecycle are the same code path, so
+        the two are byte-identical on uninstrumented runs.  The native
+        result object remains reachable as ``report.raw``.
         """
-        warnings.warn(
-            "Engine.execute() is deprecated; use Engine.open(scenario) for "
-            "the instrumented session or Engine.run(scenario) for the "
-            "one-shot report (its .raw attribute holds the native result)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.run(scenario).raw
+        return self.open(scenario).run_to_completion()
 
 
 def register_engine(engine: Engine, replace: bool = False) -> Engine:

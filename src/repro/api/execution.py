@@ -22,7 +22,14 @@ controllable process:
   :class:`~repro.sim.timing.AdaptiveStragglerTiming` plug into;
 * :meth:`Execution.run_to_completion` — drain the queue and finalise to
   the exact :class:`~repro.api.report.RunReport` the one-shot
-  ``Engine.run`` returns.
+  ``Engine.run`` returns;
+* :meth:`Execution.abort` — cancel a prepared or partially-run session
+  cleanly: pending events are dropped, the trace is finalised (the
+  terminal ``settled`` milestone still fires), and the chain state *as
+  of the abort* is classified into a report flagged
+  ``extra["aborted"]``.  Idempotent, and safe at any lifecycle point —
+  this is how a serving layer (:mod:`repro.serve`) evicts stuck or
+  rate-limited jobs.
 
 Determinism contract: milestones are *derived* from the simulation
 trace, so an uninstrumented session (no probes, no interventions)
@@ -136,6 +143,7 @@ class Execution:
         self._dispatched_counts: dict[str, int] = {}
         self._began = False
         self._events_fired = 0
+        self._aborted = False
         self._report: RunReport | None = None
         self._wall_start = wall_start if wall_start is not None else time.perf_counter()
         # Adaptive timing models register their interventions here —
@@ -169,6 +177,11 @@ class Execution:
     @property
     def finalised(self) -> bool:
         return self._report is not None
+
+    @property
+    def aborted(self) -> bool:
+        """Whether this session was finalised by :meth:`abort`."""
+        return self._aborted
 
     def view(self) -> ExecutionView:
         """The current read-only state snapshot (what probes receive)."""
@@ -339,6 +352,45 @@ class Execution:
                 not fresh or fresh[-1].kind == "settled"
             ):
                 return None
+
+    def abort(self, reason: str = "aborted") -> RunReport:
+        """Cancel this session and finalise it from its current state.
+
+        Every still-pending scheduler event is dropped (the clock does
+        not advance further), the milestone trace is finalised — the
+        terminal ``settled`` milestone fires at the abort time — and the
+        chain state *as of the abort* is classified exactly as a
+        quiesced run would be: contracts still in escrow surface as
+        ``stuck_in_escrow``, parties holding them as ``Escrow``
+        outcomes.  The report is flagged with
+        ``extra["aborted"] = {"reason", "events_cancelled"}`` so no
+        downstream consumer mistakes it for a run that settled on its
+        own (and warm caches must never store one).
+
+        Idempotent: aborting twice returns the same report, and
+        aborting an already-completed session is a no-op returning the
+        completed report.  A session that was never stepped can be
+        aborted too — it finalises with an empty trace.
+        """
+        if self._report is not None:
+            return self._report
+        self._aborted = True
+        cancelled = self.harness.scheduler.cancel_pending()
+        self._dispatch(self._tracker.finish(self.harness.scheduler.now))
+        native = self._finalize(self._events_fired)
+        report = RunReport.from_result(
+            self.engine,
+            self.scenario,
+            native,
+            time.perf_counter() - self._wall_start,
+        )
+        report.milestones = self.milestones
+        report.extra["aborted"] = {
+            "reason": reason,
+            "events_cancelled": cancelled,
+        }
+        self._report = report
+        return report
 
     def run_to_completion(self) -> RunReport:
         """Drain the remaining events and finalise to a :class:`RunReport`.

@@ -187,6 +187,38 @@ class UnknownWorkloadError(LabError):
 
 
 # ---------------------------------------------------------------------------
+# Swap service (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for failures in the :mod:`repro.serve` daemon layer."""
+
+
+class WireError(ServeError):
+    """A wire-format payload (milestone event, submission body) did not
+    match the service's JSON schema."""
+
+
+class AdmissionError(ServeError):
+    """The service refused a submission — admission queue full or the
+    client's token bucket is empty.
+
+    ``retry_after`` is the advisory back-off in seconds (the HTTP layer
+    maps it to a 429 with a ``Retry-After`` header); ``reason`` is
+    ``"queue-full"`` or ``"rate-limited"``.
+    """
+
+    def __init__(self, reason: str, retry_after: float, detail: str = "") -> None:
+        self.reason = reason
+        self.retry_after = retry_after
+        message = f"submission rejected ({reason}); retry after {retry_after:.2f}s"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Simulation substrate
 # ---------------------------------------------------------------------------
 

@@ -292,6 +292,16 @@ class SqliteStore(RunStore):
     the entry to keep ``lab ls`` queries from parsing every report
     blob.  Iteration follows rowid, which ``INSERT OR REPLACE``
     reassigns on overwrite — exactly the recording-order contract.
+
+    Concurrency: the store opens in WAL journal mode with a
+    ``busy_timeout`` (default 5 s), so a long-lived writer — the
+    :mod:`repro.serve` daemon recording settled runs — and concurrent
+    ``lab stats`` / ``lab ls`` readers in other processes do not block
+    each other: WAL readers see the last committed snapshot while a
+    write transaction is open, and a second writer waits out the busy
+    timeout instead of failing immediately.  Filesystems that cannot
+    take WAL (some network mounts) silently keep the default journal —
+    the store works, just without concurrent readers.
     """
 
     _SCHEMA = """
@@ -305,7 +315,12 @@ class SqliteStore(RunStore):
         )
     """
 
-    def __init__(self, path: str | Path, commit_every: int = 8) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        commit_every: int = 8,
+        busy_timeout_ms: int = 5000,
+    ) -> None:
         if commit_every < 1:
             raise StoreError(f"commit_every must be >= 1, got {commit_every}")
         self.path = Path(path)
@@ -314,6 +329,13 @@ class SqliteStore(RunStore):
         self._uncommitted = 0
         try:
             self._db = sqlite3.connect(str(self.path))
+            self._db.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+            # Best-effort: journal_mode returns the mode actually in
+            # force; a filesystem that refuses WAL answers with the
+            # old mode and everything still works single-writer.
+            self.journal_mode = self._db.execute(
+                "PRAGMA journal_mode = WAL"
+            ).fetchone()[0]
             self._db.execute(self._SCHEMA)
             self._db.commit()
         except sqlite3.Error as error:

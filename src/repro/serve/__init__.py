@@ -1,0 +1,66 @@
+"""`repro.serve`: the long-lived swap service.
+
+PR 5 turned runs into observable processes (``Engine.open()`` →
+:class:`~repro.api.execution.Execution` with typed milestones); this
+package serves them.  A pure-stdlib asyncio daemon accepts scenario
+submissions over HTTP (the ``Scenario.to_dict`` wire format), admits
+them through per-client token buckets and a bounded queue
+(429 + ``Retry-After`` backpressure), multiplexes N concurrent
+execution sessions over a worker pool, and streams each session's
+milestone events to WebSocket / NDJSON / long-poll subscribers as they
+fire.  The content-addressed run store doubles as a warm cache:
+resubmitting a seen scenario answers instantly with the stored report —
+zero engines executed — and identical in-flight submissions coalesce
+onto one execution.
+
+Layering (each importable without the ones above it):
+
+* :mod:`repro.serve.events` — the milestone/event JSON wire schema;
+* :mod:`repro.serve.service` — :class:`SwapService`, the
+  transport-agnostic core (admission, pool, cache, metrics);
+* :mod:`repro.serve.http` — the HTTP/1.1 + WebSocket transport and the
+  ``python -m repro serve`` entry point;
+* :mod:`repro.serve.client` — blocking stdlib client, background-daemon
+  harness, and the E27 load generator (``python -m repro serve-bench``).
+
+Quickstart::
+
+    $ python -m repro serve --port 8642 --store swaps.sqlite &
+    $ curl -s -XPOST localhost:8642/v1/runs -d \\
+        '{"engine": "herlihy", "scenario": {"topology": {...}, "seed": 7}}'
+    {"key": "3fa0...", "queue_depth": 1, "status": "accepted"}
+    $ curl -s localhost:8642/v1/runs/3fa0.../events   # NDJSON milestones
+    $ curl -s -XPOST ...   # same body again: {"status": "cached", ...}
+"""
+
+from repro.serve.events import (
+    EVENT_KINDS,
+    TERMINAL_EVENTS,
+    WIRE_SCHEMA,
+    check_envelope,
+    envelope,
+    milestone_from_wire,
+    milestone_to_wire,
+)
+from repro.serve.service import (
+    Job,
+    ServiceConfig,
+    SubmitResult,
+    SwapService,
+    TokenBucket,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "TERMINAL_EVENTS",
+    "WIRE_SCHEMA",
+    "check_envelope",
+    "envelope",
+    "milestone_from_wire",
+    "milestone_to_wire",
+    "Job",
+    "ServiceConfig",
+    "SubmitResult",
+    "SwapService",
+    "TokenBucket",
+]

@@ -1,0 +1,127 @@
+"""The service's JSON wire schema for milestone streams.
+
+A :class:`~repro.sim.milestones.Milestone` crosses the wire as the plain
+dict its ``to_dict`` produces (``index``, ``time``, ``kind``, ``party``,
+``arc``), wrapped in a per-job event envelope::
+
+    {"seq": 3, "event": "milestone", "job": "<run key>",
+     "data": {"index": 1, "time": 4100, "kind": "contract-escrowed",
+              "party": "Alice", "arc": ["Alice", "Bob"]}}
+
+Envelope events cover the whole job lifecycle — ``accepted``,
+``started``, ``milestone``, ``settled``, ``failed``, ``aborted`` — so a
+subscriber that replays a job's stream from ``seq`` 0 reconstructs
+everything that happened to it, in order.  ``settled`` carries the
+serialized :class:`~repro.api.report.RunReport` (and whether it was
+served from the warm cache).
+
+Decoding is strict on both sides: :func:`milestone_from_wire` rejects an
+unknown milestone kind, a non-integer index/time, or a malformed arc
+with a :class:`~repro.errors.WireError` naming the offending field —
+never a ``KeyError`` out of the daemon's request loop — and
+:func:`milestone_to_wire` validates the kind on the way out, so a future
+vocabulary drift is caught at the boundary, not by a remote client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import WireError
+from repro.sim.milestones import MILESTONE_KINDS, Milestone
+
+#: Bump when the event envelope changes incompatibly.
+WIRE_SCHEMA = 1
+
+#: Every envelope event kind, in lifecycle order.
+EVENT_KINDS: tuple[str, ...] = (
+    "accepted",
+    "started",
+    "milestone",
+    "settled",
+    "failed",
+    "aborted",
+)
+
+#: Envelope kinds after which a job's stream emits nothing further.
+TERMINAL_EVENTS: frozenset[str] = frozenset({"settled", "failed", "aborted"})
+
+
+def milestone_to_wire(milestone: Milestone) -> dict[str, Any]:
+    """Encode one milestone for the wire, validating its kind."""
+    if milestone.kind not in MILESTONE_KINDS:
+        known = ", ".join(MILESTONE_KINDS)
+        raise WireError(
+            f"refusing to encode unknown milestone kind {milestone.kind!r}; "
+            f"the vocabulary is: {known}"
+        )
+    return milestone.to_dict()
+
+
+def milestone_from_wire(data: Mapping[str, Any]) -> Milestone:
+    """Decode one milestone dict, rejecting anything off-schema."""
+    if not isinstance(data, Mapping):
+        raise WireError(f"milestone payload must be an object, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind not in MILESTONE_KINDS:
+        known = ", ".join(MILESTONE_KINDS)
+        raise WireError(
+            f"unknown milestone kind {kind!r}; the vocabulary is: {known}"
+        )
+    index, time = data.get("index"), data.get("time")
+    if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+        raise WireError(f"milestone index must be a non-negative integer, got {index!r}")
+    if not isinstance(time, int) or isinstance(time, bool):
+        raise WireError(f"milestone time must be an integer, got {time!r}")
+    party = data.get("party")
+    if party is not None and not isinstance(party, str):
+        raise WireError(f"milestone party must be a string or null, got {party!r}")
+    arc = data.get("arc")
+    if arc is not None:
+        if (
+            not isinstance(arc, (list, tuple))
+            or len(arc) != 2
+            or not all(isinstance(end, str) for end in arc)
+        ):
+            raise WireError(
+                f"milestone arc must be null or a [from, to] pair, got {arc!r}"
+            )
+        arc = (arc[0], arc[1])
+    return Milestone(index=index, time=time, kind=kind, party=party, arc=arc)
+
+
+def envelope(
+    seq: int, event: str, job: str, data: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """Build one stream-event envelope, validating the event kind."""
+    if event not in EVENT_KINDS:
+        known = ", ".join(EVENT_KINDS)
+        raise WireError(f"unknown stream event {event!r}; known events: {known}")
+    payload: dict[str, Any] = {"seq": seq, "event": event, "job": job}
+    if data is not None:
+        payload["data"] = dict(data)
+    return payload
+
+
+def check_envelope(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate a received envelope (a subscriber's view of the stream).
+
+    Returns the envelope as a plain dict; ``milestone`` events get their
+    payload round-tripped through :func:`milestone_from_wire`, so a
+    stream validated by this function contains no off-vocabulary kinds.
+    """
+    if not isinstance(data, Mapping):
+        raise WireError(f"stream event must be an object, got {type(data).__name__}")
+    event = data.get("event")
+    if event not in EVENT_KINDS:
+        known = ", ".join(EVENT_KINDS)
+        raise WireError(f"unknown stream event {event!r}; known events: {known}")
+    seq = data.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise WireError(f"stream seq must be a non-negative integer, got {seq!r}")
+    if not isinstance(data.get("job"), str):
+        raise WireError("stream event is missing its job key")
+    checked = dict(data)
+    if event == "milestone":
+        checked["data"] = milestone_from_wire(data.get("data", {})).to_dict()
+    return checked

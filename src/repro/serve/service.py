@@ -1,0 +1,626 @@
+"""`SwapService`: the daemon's transport-agnostic core.
+
+The service turns the execution-session API into a long-lived,
+admission-controlled server: submissions arrive as ``(engine, scenario)``
+pairs, pass a per-client token bucket and a bounded admission queue, and
+are multiplexed over a pool of worker slots that each drive one
+:class:`~repro.api.execution.Execution` event-by-event — milestones are
+forwarded to subscribers *as they fire*, not after quiescence.
+
+Everything observable about a job is an ordered stream of envelope
+events (:mod:`repro.serve.events`): ``accepted`` → ``started`` →
+``milestone``* → ``settled`` | ``failed`` | ``aborted``.  Subscribers
+replay a job's stream from any sequence number and then follow it live,
+which is what both the long-poll and WebSocket transports in
+:mod:`repro.serve.http` are built on.
+
+The content-addressed run store doubles as the warm cache: submissions
+are keyed by :func:`repro.api.sweep.run_key`, a seen scenario returns
+the stored entry instantly (zero engines executed), and duplicate
+in-flight submissions coalesce onto the single live execution.  Settled
+and failed runs are recorded in exactly the ``run_sweep`` entry format,
+so a store warmed by the daemon warms ``lab`` sweeps and vice versa.
+Aborted runs are *never* recorded — a partial report must not poison
+the cache.
+
+Concurrency model: the service lives on one asyncio event loop; engine
+stepping happens in a thread pool (one slot per concurrent session) and
+milestones hop back to the loop via ``call_soon_threadsafe``.  All
+store access stays on the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Mapping
+
+from repro.api.engine import get_engine
+from repro.api.scenario import Scenario
+from repro.api.sweep import run_key
+from repro.errors import AdmissionError, ReproError, ServeError, WireError
+from repro.lab.store import MemoryStore, RunStore
+from repro.serve.events import TERMINAL_EVENTS, WIRE_SCHEMA, envelope, milestone_to_wire
+
+#: Job lifecycle states; the last three are terminal.
+JOB_STATES = ("queued", "running", "settled", "failed", "aborted")
+TERMINAL_STATES = frozenset({"settled", "failed", "aborted"})
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`SwapService` instance."""
+
+    max_pending: int = 64
+    """Admission-queue depth; a submission beyond it gets a 429."""
+    max_concurrency: int = 4
+    """Execution sessions driven simultaneously (worker slots)."""
+    rate: float = 50.0
+    """Per-client token-bucket refill, submissions/second (<= 0 disables)."""
+    burst: float = 100.0
+    """Per-client bucket capacity (the allowed submission burst)."""
+    max_run_seconds: float | None = 30.0
+    """Wall-clock eviction deadline per job; ``None`` disables."""
+    max_events_per_job: int = 4096
+    """Milestone events retained per job; beyond it they are dropped
+    (counted in ``dropped_events``) — terminal events always land."""
+    max_jobs_retained: int = 1024
+    """Terminal jobs kept for late subscribers before eviction."""
+    default_engine: str = "herlihy"
+    latency_window: int = 4096
+    """Settled-latency samples kept for the p50/p99 metrics."""
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/sec, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token; returns 0.0 on success, else seconds until
+        the next token accrues."""
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class Job:
+    """One submitted run and its observable event stream."""
+
+    key: str
+    engine: str
+    scenario: Scenario
+    client: str
+    submitted_at: float
+    status: str = "queued"
+    cached: bool = False
+    events: list[dict] = field(default_factory=list)
+    entry: dict | None = None
+    started_at: float | None = None
+    settled_at: float | None = None
+    subscribers: int = 0
+    coalesced: int = 0
+    dropped_events: int = 0
+    abort_requested: bool = False
+    abort_reason: str = ""
+    waker: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def state(self) -> dict[str, Any]:
+        """The job's status document (what ``GET /v1/runs/<key>`` serves)."""
+        doc: dict[str, Any] = {
+            "key": self.key,
+            "engine": self.engine,
+            "scenario": self.scenario.label(),
+            "status": self.status,
+            "cached": self.cached,
+            "events": len(self.events),
+            "coalesced": self.coalesced,
+        }
+        if self.dropped_events:
+            doc["dropped_events"] = self.dropped_events
+        if self.entry is not None:
+            if self.entry.get("ok"):
+                doc["report"] = self.entry["report"]
+            elif self.entry.get("aborted"):
+                doc["aborted"] = self.entry["aborted"]
+                if "report" in self.entry:
+                    doc["report"] = self.entry["report"]
+            else:
+                doc["error_type"] = self.entry.get("error_type")
+                doc["message"] = self.entry.get("message")
+        return doc
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """What :meth:`SwapService.submit` answers.
+
+    ``status`` is ``"cached"`` (served instantly from the store, zero
+    engines executed), ``"coalesced"`` (an identical submission is
+    already queued or running — the caller shares its job), or
+    ``"accepted"`` (freshly admitted).
+    """
+
+    status: str
+    key: str
+    job: Job
+    queue_depth: int = 0
+
+
+class SwapService:
+    """The admission-controlled, multiplexing execution service."""
+
+    def __init__(
+        self, config: ServiceConfig | None = None, store: RunStore | None = None
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store = store if store is not None else MemoryStore()
+        self._jobs: dict[str, Job] = {}
+        self._terminal_order: deque[str] = deque()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._latencies: deque[float] = deque(maxlen=self.config.latency_window)
+        self._milestone_counts: dict[str, int] = {}
+        self._queue: asyncio.Queue[Job] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._workers: list[asyncio.Task] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started_at: float | None = None
+        self._counters = {
+            "submitted": 0,
+            "accepted": 0,
+            "coalesced": 0,
+            "cache_hits": 0,
+            "rejected_queue_full": 0,
+            "rejected_rate_limited": 0,
+            "executed": 0,
+            "settled": 0,
+            "failed": 0,
+            "aborted": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring up the worker pool; must run on the serving loop."""
+        if self._queue is not None:
+            raise ServeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.max_pending)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency,
+            thread_name_prefix="repro-serve",
+        )
+        self._workers = [
+            self._loop.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.config.max_concurrency)
+        ]
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Evict every live job, drain the pool, flush the store."""
+        if self._queue is None:
+            return
+        for job in self._jobs.values():
+            if not job.terminal:
+                job.abort_requested = True
+                job.abort_reason = job.abort_reason or "service shutdown"
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            # In-flight drive threads notice abort_requested between
+            # steps and finish promptly; join them before flushing.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._executor.shutdown
+            )
+            self._executor = None
+        self._queue = None
+        flush = getattr(self.store, "flush", None)
+        if flush is not None:
+            flush()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(
+        self,
+        scenario: Scenario | Mapping[str, Any],
+        engine: str | None = None,
+        client: str = "anonymous",
+    ) -> SubmitResult:
+        """Admit one scenario; returns how it was disposed of.
+
+        Raises :class:`~repro.errors.AdmissionError` on rate limiting or
+        a full queue, and other :class:`~repro.errors.ReproError`
+        subclasses (unknown engine, malformed scenario) for bad input.
+        """
+        if self._queue is None:
+            raise ServeError("service is not started")
+        self._counters["submitted"] += 1
+        engine_name = engine or self.config.default_engine
+        get_engine(engine_name)  # fail fast on typos
+        if not isinstance(scenario, Scenario):
+            try:
+                scenario = Scenario.from_dict(dict(scenario))
+            except ReproError:
+                raise
+            except Exception as error:
+                raise WireError(f"malformed scenario payload: {error}") from error
+
+        now = time.monotonic()
+        if self.config.rate > 0:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.config.rate, self.config.burst, now
+                )
+            wait = bucket.try_take(now)
+            if wait > 0.0:
+                self._counters["rejected_rate_limited"] += 1
+                raise AdmissionError("rate-limited", wait, f"client {client!r}")
+
+        key = run_key(engine_name, scenario)
+
+        # In-flight (or retained) job first: coalesce onto it.
+        live = self._jobs.get(key)
+        if live is not None and not live.terminal:
+            live.coalesced += 1
+            self._counters["coalesced"] += 1
+            return SubmitResult("coalesced", key, live, self._queue.qsize())
+        if live is not None and live.terminal:
+            # A retained terminal job is the cache in memory.
+            self._counters["cache_hits"] += 1
+            return SubmitResult("cached", key, live, self._queue.qsize())
+
+        # Warm cache: a stored entry settles the submission instantly.
+        stored = self.store.get(key)
+        if stored is not None:
+            self._counters["cache_hits"] += 1
+            job = self._cached_job(key, engine_name, scenario, client, stored, now)
+            return SubmitResult("cached", key, job, self._queue.qsize())
+
+        if self._queue.full():
+            self._counters["rejected_queue_full"] += 1
+            retry = self._retry_after()
+            raise AdmissionError(
+                "queue-full", retry, f"admission queue holds {self._queue.qsize()}"
+            )
+
+        job = Job(
+            key=key,
+            engine=engine_name,
+            scenario=scenario,
+            client=client,
+            submitted_at=now,
+        )
+        self._jobs[key] = job
+        self._publish(job, "accepted", {"engine": engine_name, "client": client})
+        self._queue.put_nowait(job)
+        self._counters["accepted"] += 1
+        return SubmitResult("accepted", key, job, self._queue.qsize())
+
+    def _cached_job(
+        self,
+        key: str,
+        engine: str,
+        scenario: Scenario,
+        client: str,
+        stored: dict,
+        now: float,
+    ) -> Job:
+        """Materialise a warm hit as an already-terminal job so cache
+        and fresh submissions expose one subscription surface."""
+        job = Job(
+            key=key,
+            engine=engine,
+            scenario=scenario,
+            client=client,
+            submitted_at=now,
+            cached=True,
+        )
+        job.entry = stored
+        self._publish(job, "accepted", {"engine": engine, "cached": True})
+        if stored.get("ok"):
+            job.status = "settled"
+            job.settled_at = now
+            self._publish(
+                job, "settled", {"cached": True, "report": stored["report"]}
+            )
+        else:
+            job.status = "failed"
+            job.settled_at = now
+            self._publish(
+                job,
+                "failed",
+                {
+                    "cached": True,
+                    "error_type": stored.get("error_type"),
+                    "message": stored.get("message"),
+                },
+            )
+        self._remember(job)
+        return job
+
+    def _retry_after(self) -> float:
+        """Advisory back-off when the queue is full: the mean observed
+        service latency per queued job, floored at half a second."""
+        if self._latencies:
+            mean = sum(self._latencies) / len(self._latencies)
+        else:
+            mean = 0.5
+        return max(0.5, mean)
+
+    def _remember(self, job: Job) -> None:
+        """Track a terminal job, evicting the oldest beyond the cap."""
+        self._jobs[job.key] = job
+        self._terminal_order.append(job.key)
+        while len(self._terminal_order) > self.config.max_jobs_retained:
+            victim = self._terminal_order.popleft()
+            held = self._jobs.get(victim)
+            if held is not None and held.terminal and held.subscribers == 0:
+                del self._jobs[victim]
+
+    # -- the execution pool --------------------------------------------------
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        assert self._loop is not None and self._executor is not None
+        if job.abort_requested:
+            # Evicted while still queued: never reached an engine.
+            job.status = "aborted"
+            job.settled_at = time.monotonic()
+            self._counters["aborted"] += 1
+            self._publish(job, "aborted", {"reason": job.abort_reason or "evicted"})
+            self._remember(job)
+            return
+        job.status = "running"
+        job.started_at = time.monotonic()
+        self._publish(job, "started", {"engine": job.engine})
+        try:
+            entry, outcome = await self._loop.run_in_executor(
+                self._executor, self._drive, job, self._loop
+            )
+        except Exception as error:  # engine bug: report, don't kill the pool
+            entry = {
+                "ok": False,
+                "engine": job.engine,
+                "scenario": job.scenario.to_dict(),
+                "error_type": type(error).__name__,
+                "message": str(error),
+            }
+            outcome = "failed"
+        job.entry = entry
+        job.status = outcome
+        job.settled_at = time.monotonic()
+        self._counters[outcome] += 1
+        if outcome == "settled":
+            self._counters["executed"] += 1
+            self._latencies.append(job.settled_at - job.submitted_at)
+            self.store.put(job.key, entry)
+            self._flush_store()
+            self._publish(job, "settled", {"cached": False, "report": entry["report"]})
+        elif outcome == "failed":
+            # Failures are cacheable knowledge, exactly as in run_sweep.
+            self._counters["executed"] += 1
+            self.store.put(job.key, entry)
+            self._flush_store()
+            self._publish(
+                job,
+                "failed",
+                {
+                    "cached": False,
+                    "error_type": entry.get("error_type"),
+                    "message": entry.get("message"),
+                },
+            )
+        else:  # aborted: never stored — a partial report would poison the cache
+            self._publish(job, "aborted", {"reason": job.abort_reason or "evicted"})
+        self._remember(job)
+
+    def _flush_store(self) -> None:
+        """Make the just-recorded run crash-durable (the per-chunk
+        discipline ``run_sweep`` uses, applied per settled job)."""
+        flush = getattr(self.store, "flush", None)
+        if flush is not None:
+            flush()
+
+    def _drive(self, job: Job, loop: asyncio.AbstractEventLoop) -> tuple[dict, str]:
+        """Thread-side: step one execution, forwarding milestones live.
+
+        Returns the store-format entry dict plus the job outcome.  Runs
+        entirely off the event loop; every milestone hops back via
+        ``call_soon_threadsafe``.
+        """
+        execution = get_engine(job.engine).open(job.scenario)
+        deadline = (
+            None
+            if self.config.max_run_seconds is None
+            else time.monotonic() + self.config.max_run_seconds
+        )
+        try:
+            while True:
+                if job.abort_requested or (
+                    deadline is not None and time.monotonic() > deadline
+                ):
+                    reason = job.abort_reason or "deadline exceeded"
+                    job.abort_reason = reason
+                    report = execution.abort(reason)
+                    # The partial report is observable on the job but is
+                    # never stored: ok=False keeps it out of report paths.
+                    return (
+                        {"ok": False, "aborted": reason, "report": report.to_dict()},
+                        "aborted",
+                    )
+                fresh = execution.step()
+                for milestone in fresh or ():
+                    wire = milestone_to_wire(milestone)
+                    loop.call_soon_threadsafe(self._publish_milestone, job, wire)
+                if execution.quiesced:
+                    report = execution.run_to_completion()
+                    entry: dict[str, Any] = {"ok": True, "report": report.to_dict()}
+                    counts = report.milestone_counts()
+                    if counts:
+                        entry["milestones"] = counts
+                    return entry, "settled"
+        except ReproError as error:
+            return (
+                {
+                    "ok": False,
+                    "engine": job.engine,
+                    "scenario": job.scenario.to_dict(),
+                    "error_type": type(error).__name__,
+                    "message": str(error),
+                },
+                "failed",
+            )
+
+    # -- the event stream ----------------------------------------------------
+
+    def _publish(self, job: Job, event: str, data: Mapping[str, Any] | None) -> None:
+        job.events.append(envelope(len(job.events), event, job.key, data))
+        waker, job.waker = job.waker, asyncio.Event()
+        waker.set()
+
+    def _publish_milestone(self, job: Job, wire: dict) -> None:
+        kind = wire["kind"]
+        self._milestone_counts[kind] = self._milestone_counts.get(kind, 0) + 1
+        if len(job.events) >= self.config.max_events_per_job:
+            job.dropped_events += 1
+            return
+        self._publish(job, "milestone", wire)
+
+    def job(self, key: str) -> Job:
+        """The live or retained job for ``key``; raises if unknown."""
+        try:
+            return self._jobs[key]
+        except KeyError:
+            raise ServeError(f"no such job: {key}") from None
+
+    def abort(self, key: str, reason: str = "client abort") -> bool:
+        """Request eviction of a queued or running job.
+
+        Returns ``False`` when the job is already terminal (nothing to
+        do); the abort itself lands asynchronously — subscribers see the
+        terminal ``aborted`` event when the worker honours it.
+        """
+        job = self.job(key)
+        if job.terminal:
+            return False
+        job.abort_requested = True
+        job.abort_reason = reason
+        return True
+
+    async def subscribe(
+        self, key: str, from_seq: int = 0
+    ) -> AsyncIterator[dict]:
+        """Replay a job's events from ``from_seq``, then follow live.
+
+        Yields envelope dicts; returns after yielding a terminal event
+        (``settled`` / ``failed`` / ``aborted``).
+        """
+        job = self.job(key)
+        job.subscribers += 1
+        seq = max(0, from_seq)
+        try:
+            while True:
+                waker = job.waker
+                while seq < len(job.events):
+                    event = job.events[seq]
+                    seq += 1
+                    yield event
+                    if event["event"] in TERMINAL_EVENTS:
+                        return
+                if job.terminal:
+                    # Terminal event already consumed by an earlier
+                    # from_seq window, or dropped: stop following.
+                    return
+                await waker.wait()
+        finally:
+            job.subscribers -= 1
+
+    async def wait(self, key: str, timeout: float | None = None) -> Job:
+        """Block until ``key``'s job is terminal (long-poll primitive)."""
+        job = self.job(key)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not job.terminal:
+            waker = job.waker
+            if deadline is None:
+                await waker.wait()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(waker.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+        return job
+
+    # -- metrics -------------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """The metrics document (``GET /v1/status``)."""
+        by_status: dict[str, int] = {}
+        for job in self._jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        latencies = sorted(self._latencies)
+        in_flight = sum(
+            1 for job in self._jobs.values() if job.status == "running"
+        )
+        total = self._counters["submitted"]
+        hits = self._counters["cache_hits"]
+        doc: dict[str, Any] = {
+            "schema": WIRE_SCHEMA,
+            "uptime_seconds": (
+                0.0
+                if self._started_at is None
+                else time.monotonic() - self._started_at
+            ),
+            "queue_depth": 0 if self._queue is None else self._queue.qsize(),
+            "in_flight": in_flight,
+            "jobs": by_status,
+            "cache_hit_rate": (hits / total) if total else 0.0,
+            "milestones": dict(self._milestone_counts),
+            "latency": {
+                "count": len(latencies),
+                "mean_ms": (
+                    sum(latencies) / len(latencies) * 1000 if latencies else None
+                ),
+                "p50_ms": _percentile(latencies, 0.50),
+                "p99_ms": _percentile(latencies, 0.99),
+            },
+            "store_entries": len(self.store),
+        }
+        doc.update(self._counters)
+        return doc
+
+
+def _percentile(sorted_seconds: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of pre-sorted samples, in milliseconds."""
+    if not sorted_seconds:
+        return None
+    rank = max(0, min(len(sorted_seconds) - 1, round(q * len(sorted_seconds)) - 1))
+    return sorted_seconds[rank] * 1000

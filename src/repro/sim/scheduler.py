@@ -124,6 +124,21 @@ class Scheduler:
         """Number of events still queued."""
         return len(self._queue)
 
+    def cancel_pending(self) -> int:
+        """Drop every queued event without firing it; returns the count.
+
+        The clock does not move and already-fired history is untouched —
+        this is the primitive :meth:`repro.api.Execution.abort` uses to
+        stop a session cleanly between events.  Not callable from inside
+        a firing event (the loop holds a popped reference the queue no
+        longer knows about).
+        """
+        if self._running:
+            raise SchedulerError("cannot cancel events while the scheduler runs")
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
     @property
     def now(self) -> int:
         return self.clock.now

@@ -10,13 +10,14 @@ The contract under test (ISSUE 5 acceptance):
   measurement, not a result);
 * ``chain_delays`` round-trips, hashes only when non-default, and is
   honoured by the harness;
-* ``Engine.execute()`` is a deprecation shim pointing at ``open()``.
+* ``Engine.execute()`` no longer exists (the 1.5 deprecation shim was
+  removed in 1.6.0); ``abort()`` cancels a session cleanly at any
+  lifecycle point.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 
 import pytest
 
@@ -414,37 +415,92 @@ class TestChainDelays:
 
 
 class TestEngineContract:
-    def test_execute_warns_and_returns_native_result(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            result = get_engine("herlihy").execute(Scenario(topology=triangle()))
-        assert any(
-            issubclass(w.category, DeprecationWarning)
-            and "Engine.open" in str(w.message)
-            for w in caught
-        )
-        assert result.all_deal()
+    def test_execute_shim_is_gone(self):
+        """The 1.5 DeprecationWarning shim was removed on schedule."""
+        assert not hasattr(Engine, "execute")
+        report = get_engine("herlihy").run(Scenario(topology=triangle()))
+        assert report.all_deal()
+        assert report.raw.all_deal()  # native result still reachable
 
-    def test_legacy_execute_only_engine_still_runs(self):
+    def test_prepare_less_engine_is_rejected(self):
         class LegacyEngine(Engine):
             name = "legacy-test"
 
-            def execute(self, scenario):
-                from repro.core.protocol import run_swap as _run
-
-                return _run(scenario.topology, config=scenario.config())
-
-        report = LegacyEngine().run(Scenario(topology=triangle(), seed=7))
-        assert report.all_deal()
-        with pytest.raises(EngineError, match="predates"):
+        with pytest.raises(EngineError, match="does not implement prepare"):
             LegacyEngine().open(Scenario(topology=triangle()))
+        with pytest.raises(EngineError, match="does not implement prepare"):
+            LegacyEngine().run(Scenario(topology=triangle()))
 
-    def test_engine_without_either_hook_is_an_error(self):
-        class HollowEngine(Engine):
-            name = "hollow-test"
 
-        with pytest.raises(EngineError, match="neither"):
-            HollowEngine().run(Scenario(topology=triangle()))
+# ---------------------------------------------------------------------------
+# abort semantics
+# ---------------------------------------------------------------------------
+
+
+class TestAbort:
+    def test_abort_mid_run_finalises_with_stuck_state(self):
+        """Aborting after Phase One classifies the frozen chain state."""
+        session = get_engine("herlihy").open(Scenario(topology=triangle(), seed=7))
+        session.run_until(CONTRACT_ESCROWED)
+        assert session.harness.scheduler.pending() > 0
+        report = session.abort("test eviction")
+        assert session.aborted and session.finalised
+        assert report.extra["aborted"]["reason"] == "test eviction"
+        assert report.extra["aborted"]["events_cancelled"] > 0
+        # The run was cut off mid-protocol: it cannot be all-Deal, and
+        # the escrowed-but-unresolved contracts surface as stuck.
+        assert not report.all_deal()
+        assert report.stuck_in_escrow
+        # The milestone trace is finalised: `settled` is terminal.
+        assert report.milestones[-1].kind == SETTLED
+        assert session.harness.scheduler.pending() == 0
+
+    def test_abort_is_idempotent(self):
+        session = get_engine("herlihy").open(Scenario(topology=triangle(), seed=7))
+        session.run_until(CONTRACT_ESCROWED)
+        first = session.abort("once")
+        second = session.abort("twice")
+        assert first is second
+        assert first.extra["aborted"]["reason"] == "once"
+
+    def test_abort_before_first_step(self):
+        """A prepared-but-never-driven session aborts cleanly."""
+        session = get_engine("herlihy").open(Scenario(topology=triangle(), seed=7))
+        report = session.abort()
+        assert session.aborted
+        assert report.events_fired == 0
+        assert not report.triggered
+        assert report.milestones[-1].kind == SETTLED
+
+    def test_abort_after_completion_is_a_noop(self):
+        session = get_engine("herlihy").open(Scenario(topology=triangle(), seed=7))
+        completed = session.run_to_completion()
+        assert session.abort() is completed
+        assert not session.aborted
+        assert "aborted" not in completed.extra
+
+    def test_stepping_an_aborted_session_raises(self):
+        session = get_engine("herlihy").open(Scenario(topology=triangle(), seed=7))
+        session.step()
+        session.abort()
+        with pytest.raises(ExecutionError, match="finalised"):
+            session.step()
+        with pytest.raises(ExecutionError, match="finalised"):
+            session.run_until(SETTLED)
+        # run_to_completion stays idempotent: it returns the abort report.
+        assert session.run_to_completion() is session.abort()
+
+    def test_abort_timeout_style_eviction_preserves_thm49_accounting(self):
+        """An aborted run still carries coherent per-party outcomes —
+        what the serving layer reports for an evicted job."""
+        session = get_engine("herlihy").open(
+            Scenario(topology=cycle_digraph(4), seed=11)
+        )
+        session.run_until(SECRET_RELEASED)
+        report = session.abort("deadline exceeded")
+        assert set(report.outcomes) == set(
+            cycle_digraph(4).vertices
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -347,6 +347,68 @@ def _sweep() -> Sweep:
     )
 
 
+class TestWalConcurrency:
+    """The daemon's writer and `lab stats`-style readers must coexist."""
+
+    def test_sqlite_store_opens_in_wal_mode(self, tmp_path):
+        store = SqliteStore(tmp_path / "runs.sqlite")
+        assert store.journal_mode == "wal"
+        store.close()
+        # A reopen keeps WAL (the mode is persistent in the db header).
+        reopened = SqliteStore(tmp_path / "runs.sqlite")
+        assert reopened.journal_mode == "wal"
+        reopened.close()
+
+    def test_busy_timeout_is_set(self, tmp_path):
+        store = SqliteStore(tmp_path / "runs.sqlite", busy_timeout_ms=1234)
+        assert store._db.execute("PRAGMA busy_timeout").fetchone()[0] == 1234
+        store.close()
+
+    def test_concurrent_writer_and_readers(self, tmp_path):
+        """A committing writer and same-time readers never see
+        'database is locked' — WAL readers get the last snapshot."""
+        path = tmp_path / "runs.sqlite"
+        SqliteStore(path).close()  # create schema before threads race
+        n_writes, stop = 120, threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            try:
+                store = SqliteStore(path, commit_every=1)
+                for i in range(n_writes):
+                    store.put(f"k{i:04d}", OK_ENTRY)
+                store.close()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                store = SqliteStore(path)
+                seen = 0
+                while not stop.is_set() or seen < 1:
+                    keys = store.keys()
+                    assert list(keys) == sorted(keys)  # rowid order = put order
+                    store.index()
+                    seen += 1
+                store.close()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+                stop.set()
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        with SqliteStore(path) as final:
+            assert len(final) == n_writes
+
+
 class TestSweepStoreIntegration:
     def test_cold_run_populates_store(self, tmp_path):
         store = MemoryStore()

@@ -1,0 +1,137 @@
+"""The milestone/event wire schema (`repro.serve.events`).
+
+The contract under test: every milestone kind in the vocabulary
+round-trips losslessly through the JSON wire encoding, and anything
+off-schema — an unknown kind, a non-integer index, a malformed arc, a
+bogus envelope — is rejected at the boundary with a
+:class:`~repro.errors.WireError` that names the problem.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import WireError
+from repro.serve.events import (
+    EVENT_KINDS,
+    TERMINAL_EVENTS,
+    check_envelope,
+    envelope,
+    milestone_from_wire,
+    milestone_to_wire,
+)
+from repro.sim.milestones import MILESTONE_KINDS, Milestone
+
+
+class TestMilestoneRoundTrip:
+    @pytest.mark.parametrize("kind", MILESTONE_KINDS)
+    def test_every_kind_survives_json(self, kind):
+        """kind -> wire dict -> JSON text -> decoded Milestone, lossless."""
+        original = Milestone(
+            index=3, time=4100, kind=kind, party="Alice", arc=("Alice", "Bob")
+        )
+        over_the_wire = json.loads(json.dumps(milestone_to_wire(original)))
+        decoded = milestone_from_wire(over_the_wire)
+        assert decoded == original
+        assert decoded.to_dict() == original.to_dict()
+
+    @pytest.mark.parametrize("kind", MILESTONE_KINDS)
+    def test_optional_fields_stay_null(self, kind):
+        original = Milestone(index=0, time=0, kind=kind)
+        decoded = milestone_from_wire(json.loads(json.dumps(original.to_dict())))
+        assert decoded.party is None and decoded.arc is None
+
+    def test_arc_lists_become_tuples(self):
+        # JSON has no tuples; the decoder must restore the (from, to) pair.
+        decoded = milestone_from_wire(
+            {"index": 1, "time": 7, "kind": "settled", "party": None,
+             "arc": ["Bob", "Carol"]}
+        )
+        assert decoded.arc == ("Bob", "Carol")
+
+
+class TestMilestoneRejection:
+    def test_unknown_kind_rejected_with_vocabulary(self):
+        with pytest.raises(WireError, match="unknown milestone kind 'warp-drive'"):
+            milestone_from_wire({"index": 0, "time": 0, "kind": "warp-drive"})
+        # The error message teaches the caller the valid vocabulary.
+        with pytest.raises(WireError, match="contract-escrowed"):
+            milestone_from_wire({"index": 0, "time": 0, "kind": "nope"})
+
+    def test_unknown_kind_refused_on_encode_too(self):
+        rogue = Milestone(index=0, time=0, kind="made-up")
+        with pytest.raises(WireError, match="refusing to encode"):
+            milestone_to_wire(rogue)
+
+    @pytest.mark.parametrize("index", [-1, 1.5, "3", None, True])
+    def test_bad_index_rejected(self, index):
+        with pytest.raises(WireError, match="index"):
+            milestone_from_wire({"index": index, "time": 0, "kind": "settled"})
+
+    @pytest.mark.parametrize("time", [1.5, "now", None, False])
+    def test_bad_time_rejected(self, time):
+        with pytest.raises(WireError, match="time"):
+            milestone_from_wire({"index": 0, "time": time, "kind": "settled"})
+
+    def test_bad_party_rejected(self):
+        with pytest.raises(WireError, match="party"):
+            milestone_from_wire(
+                {"index": 0, "time": 0, "kind": "settled", "party": 7}
+            )
+
+    @pytest.mark.parametrize("arc", [["Alice"], ["A", "B", "C"], [1, 2], "AB"])
+    def test_bad_arc_rejected(self, arc):
+        with pytest.raises(WireError, match="arc"):
+            milestone_from_wire(
+                {"index": 0, "time": 0, "kind": "settled", "arc": arc}
+            )
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(WireError, match="must be an object"):
+            milestone_from_wire([1, 2, 3])
+
+
+class TestEnvelope:
+    def test_lifecycle_vocabulary(self):
+        assert EVENT_KINDS == (
+            "accepted", "started", "milestone", "settled", "failed", "aborted"
+        )
+        assert TERMINAL_EVENTS == {"settled", "failed", "aborted"}
+
+    @pytest.mark.parametrize("event", EVENT_KINDS)
+    def test_every_event_kind_round_trips(self, event):
+        data = (
+            Milestone(index=0, time=9, kind="secret-released").to_dict()
+            if event == "milestone"
+            else {"note": "x"}
+        )
+        built = envelope(5, event, "deadbeef", data)
+        checked = check_envelope(json.loads(json.dumps(built)))
+        assert checked["seq"] == 5
+        assert checked["event"] == event
+        assert checked["job"] == "deadbeef"
+
+    def test_unknown_event_rejected_both_ways(self):
+        with pytest.raises(WireError, match="unknown stream event"):
+            envelope(0, "teleported", "k")
+        with pytest.raises(WireError, match="unknown stream event"):
+            check_envelope({"seq": 0, "event": "teleported", "job": "k"})
+
+    def test_envelope_without_job_key_rejected(self):
+        with pytest.raises(WireError, match="job key"):
+            check_envelope({"seq": 0, "event": "accepted"})
+
+    @pytest.mark.parametrize("seq", [-1, "0", None, 2.5])
+    def test_bad_seq_rejected(self, seq):
+        with pytest.raises(WireError, match="seq"):
+            check_envelope({"seq": seq, "event": "accepted", "job": "k"})
+
+    def test_milestone_payload_is_validated_through_the_envelope(self):
+        bad = {
+            "seq": 1,
+            "event": "milestone",
+            "job": "k",
+            "data": {"index": 0, "time": 0, "kind": "bogus"},
+        }
+        with pytest.raises(WireError, match="unknown milestone kind"):
+            check_envelope(bad)

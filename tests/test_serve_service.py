@@ -1,0 +1,369 @@
+"""`SwapService` — admission, coalescing, warm cache, abort, metrics.
+
+These tests drive the transport-agnostic core directly on a private
+event loop (``asyncio.run``), exploiting one property for determinism:
+the worker pool only makes progress at ``await`` points, so everything a
+test does between two awaits observes a frozen service.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api.scenario import Scenario
+from repro.digraph.generators import triangle
+from repro.errors import AdmissionError, ReproError, ServeError, WireError
+from repro.serve.events import check_envelope
+from repro.serve.service import ServiceConfig, SwapService, TokenBucket
+from repro.sim.milestones import MILESTONE_KINDS
+
+
+def scenario(seed=7):
+    return Scenario(topology=triangle(), seed=seed, name=f"serve-test:{seed}")
+
+
+def no_rate(**overrides):
+    return ServiceConfig(rate=0.0, **overrides)
+
+
+async def started(config=None, store=None):
+    service = SwapService(config or no_rate(), store=store)
+    await service.start()
+    return service
+
+
+class TestTokenBucket:
+    def test_burst_then_backoff(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) == 0.0
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(0.5)  # 1 token / 2 per second
+
+    def test_refills_with_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+        bucket.try_take(0.0), bucket.try_take(0.0)
+        assert bucket.try_take(1.0) == 0.0  # a second restored two tokens
+
+    def test_burst_is_the_ceiling(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket.try_take(100.0)
+        assert bucket.tokens <= 2.0
+
+
+class TestLifecycle:
+    def test_submit_before_start_is_an_error(self):
+        with pytest.raises(ServeError, match="not started"):
+            SwapService(no_rate()).submit(scenario())
+
+    def test_double_start_is_an_error(self):
+        async def run():
+            service = await started()
+            with pytest.raises(ServeError, match="already started"):
+                await service.start()
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_submit_after_stop_is_an_error(self):
+        async def run():
+            service = await started()
+            await service.stop()
+            with pytest.raises(ServeError, match="not started"):
+                service.submit(scenario())
+
+        asyncio.run(run())
+
+
+class TestSubmission:
+    def test_cold_submit_settles_and_stores(self):
+        async def run():
+            service = await started()
+            result = service.submit(scenario())
+            assert result.status == "accepted"
+            job = await service.wait(result.key, timeout=30)
+            assert job.status == "settled"
+            assert job.entry["ok"] and "report" in job.entry
+            # Recorded in run_sweep's entry format, flushed to the store.
+            assert service.store.get(result.key)["ok"] is True
+            assert service._counters["executed"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_unknown_engine_fails_fast(self):
+        async def run():
+            service = await started()
+            with pytest.raises(ReproError):
+                service.submit(scenario(), engine="warp-drive")
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_malformed_scenario_is_a_wire_error(self):
+        async def run():
+            service = await started()
+            with pytest.raises((WireError, ReproError)):
+                service.submit({"nonsense": True})
+            await service.stop()
+
+        asyncio.run(run())
+
+
+class TestCoalescing:
+    def test_identical_inflight_submissions_share_one_job(self):
+        async def run():
+            service = await started()
+            # No await between these: the first job cannot have run yet.
+            first = service.submit(scenario())
+            second = service.submit(scenario())
+            assert first.status == "accepted"
+            assert second.status == "coalesced"
+            assert second.job is first.job
+            assert first.job.coalesced == 1
+            await service.wait(first.key, timeout=30)
+            # One execution settled both submissions.
+            assert service._counters["executed"] == 1
+            assert service._counters["coalesced"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+
+class TestWarmCache:
+    def test_resubmission_is_served_from_the_store(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            await service.wait(key, timeout=30)
+            result = service.submit(scenario())
+            assert result.status == "cached"
+            assert result.job.terminal and result.job.entry["ok"]
+            assert service._counters["cache_hits"] == 1
+            assert service._counters["executed"] == 1  # still just the one
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_store_warmed_by_another_service_instance(self):
+        async def run():
+            first = await started()
+            key = first.submit(scenario()).key
+            await first.wait(key, timeout=30)
+            await first.stop()
+
+            # A fresh daemon over the same store: zero engines executed.
+            second = await started(store=first.store)
+            result = second.submit(scenario())
+            assert result.status == "cached"
+            assert result.job.cached
+            assert result.job.entry["report"] == first.store.get(key)["report"]
+            assert second._counters["executed"] == 0
+            await second.stop()
+
+        asyncio.run(run())
+
+    def test_cached_job_streams_a_terminal_event(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            await service.wait(key, timeout=30)
+            await service.stop()
+
+            warm = await started(store=service.store)
+            warm.submit(scenario())
+            events = [event async for event in warm.subscribe(key)]
+            assert [e["event"] for e in events] == ["accepted", "settled"]
+            assert events[-1]["data"]["cached"] is True
+            await warm.stop()
+
+        asyncio.run(run())
+
+
+class TestAdmissionControl:
+    def test_rate_limit_yields_retry_after(self):
+        async def run():
+            service = await started(ServiceConfig(rate=1.0, burst=1.0))
+            service.submit(scenario(1), client="alice")
+            with pytest.raises(AdmissionError) as info:
+                service.submit(scenario(2), client="alice")
+            assert info.value.reason == "rate-limited"
+            assert info.value.retry_after > 0
+            assert service._counters["rejected_rate_limited"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_rate_limits_are_per_client(self):
+        async def run():
+            service = await started(ServiceConfig(rate=1.0, burst=1.0))
+            service.submit(scenario(1), client="alice")
+            # Bob has his own bucket; Alice's spend doesn't touch it.
+            assert service.submit(scenario(2), client="bob").status == "accepted"
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_full_queue_rejects_with_backpressure(self):
+        async def run():
+            service = await started(no_rate(max_pending=1, max_concurrency=1))
+            service.submit(scenario(1))
+            with pytest.raises(AdmissionError) as info:
+                service.submit(scenario(2))
+            assert info.value.reason == "queue-full"
+            assert info.value.retry_after >= 0.5
+            assert service._counters["rejected_queue_full"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+
+class TestAbort:
+    def test_abort_while_queued_never_touches_an_engine(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            assert service.abort(key, reason="changed my mind") is True
+            job = await service.wait(key, timeout=30)
+            assert job.status == "aborted"
+            assert service._counters["executed"] == 0
+            # Aborted runs are never stored: no cache poisoning.
+            assert service.store.get(key) is None
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_deadline_aborts_the_run(self):
+        async def run():
+            service = await started(no_rate(max_run_seconds=0.0))
+            key = service.submit(scenario()).key
+            job = await service.wait(key, timeout=30)
+            assert job.status == "aborted"
+            assert job.entry["aborted"] == "deadline exceeded"
+            # The partial report is observable but flagged, and unstored.
+            assert job.entry["report"]["extra"]["aborted"]["reason"] == (
+                "deadline exceeded"
+            )
+            assert service.store.get(key) is None
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_abort_of_a_terminal_job_is_a_noop(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            await service.wait(key, timeout=30)
+            assert service.abort(key) is False
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_abort_of_an_unknown_job_raises(self):
+        async def run():
+            service = await started()
+            with pytest.raises(ServeError, match="no such job"):
+                service.abort("feedface")
+            await service.stop()
+
+        asyncio.run(run())
+
+
+class TestEventStream:
+    def test_settled_stream_is_the_full_lifecycle(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            await service.wait(key, timeout=30)
+            events = [event async for event in service.subscribe(key)]
+            kinds = [event["event"] for event in events]
+            assert kinds[0] == "accepted"
+            assert kinds[1] == "started"
+            assert kinds[-1] == "settled"
+            assert "milestone" in kinds
+            # Every envelope is wire-valid; milestone kinds on-vocabulary.
+            for event in events:
+                checked = check_envelope(event)
+                if checked["event"] == "milestone":
+                    assert checked["data"]["kind"] in MILESTONE_KINDS
+            # Sequence numbers are dense from zero.
+            assert [event["seq"] for event in events] == list(range(len(events)))
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_live_subscriber_follows_the_run(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+
+            async def collect():
+                return [event async for event in service.subscribe(key)]
+
+            collector = asyncio.ensure_future(collect())
+            await service.wait(key, timeout=30)
+            events = await asyncio.wait_for(collector, timeout=30)
+            assert events[-1]["event"] == "settled"
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_replay_from_seq_skips_the_prefix(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            await service.wait(key, timeout=30)
+            full = [event async for event in service.subscribe(key)]
+            tail = [event async for event in service.subscribe(key, from_seq=2)]
+            assert tail == full[2:]
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_event_cap_drops_milestones_never_terminals(self):
+        async def run():
+            service = await started(no_rate(max_events_per_job=2))
+            key = service.submit(scenario()).key
+            job = await service.wait(key, timeout=30)
+            kinds = [event["event"] for event in job.events]
+            assert kinds == ["accepted", "started", "settled"]
+            assert job.dropped_events > 0
+            assert job.state()["dropped_events"] == job.dropped_events
+            await service.stop()
+
+        asyncio.run(run())
+
+
+class TestMetrics:
+    def test_status_document(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            await service.wait(key, timeout=30)
+            service.submit(scenario())  # warm hit
+            doc = service.status()
+            assert doc["submitted"] == 2
+            assert doc["accepted"] == 1
+            assert doc["cache_hits"] == 1
+            assert doc["cache_hit_rate"] == pytest.approx(0.5)
+            assert doc["executed"] == 1
+            assert doc["queue_depth"] == 0
+            assert doc["store_entries"] == 1
+            assert doc["latency"]["count"] == 1
+            assert doc["latency"]["p99_ms"] > 0
+            assert sum(doc["milestones"].values()) > 0
+            assert set(doc["milestones"]) <= set(MILESTONE_KINDS)
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_wait_with_a_spent_deadline_returns_immediately(self):
+        async def run():
+            service = await started()
+            key = service.submit(scenario()).key
+            job = await service.wait(key, timeout=0)
+            assert job.status == "queued"  # no await elapsed: still frozen
+            await service.wait(key, timeout=30)
+            await service.stop()
+
+        asyncio.run(run())
