@@ -4,10 +4,16 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke bench lab-smoke serve serve-bench
+.PHONY: test smoke bench-smoke bench lab-smoke serve serve-bench lint check
 
 test:            ## full tier-1 suite
 	$(PY) -m pytest -x -q
+
+lint:            ## the repo's own AST lint pass over src/ (repro.analysis.lint)
+	$(PY) -m repro lint src/repro
+
+check:           ## static scenario verification, cross-validated against the engines
+	$(PY) -m repro lab check --verify
 
 smoke:           ## the pytest smoke lane (one tiny sweep per engine)
 	$(PY) -m pytest -q -m smoke

@@ -12,6 +12,13 @@
   re-runs execute zero engines), inspect or compare stored runs,
   aggregate cross-sweep statistics, and merge sharded stores.
   ``python -m repro lab --help`` lists the options.
+* ``python -m repro lab check`` — the static scenario verifier
+  (:mod:`repro.analysis.protocol`): structural diagnostics plus
+  closed-form predictions, no engine execution; ``--verify``
+  cross-checks the predictions against the simulator.
+* ``python -m repro lint`` — the repo's own AST lint pass
+  (:mod:`repro.analysis.lint`): determinism, serve thread-safety,
+  milestone-literal hygiene, and wire-schema rules over ``src/``.
 * ``python -m repro serve`` — the long-lived swap service
   (:mod:`repro.serve`): HTTP scenario submissions with admission
   control, streaming milestone subscriptions, store-backed warm cache;
@@ -143,6 +150,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lab.cli import main as lab_main
 
         return lab_main(args[1:])
+    if args and args[0] == "lint":
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(args[1:])
     if args and args[0] == "serve":
         from repro.serve.http import main as serve_main
 

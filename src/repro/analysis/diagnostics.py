@@ -1,0 +1,72 @@
+"""Machine-readable diagnostics for the static scenario verifier.
+
+Every problem the verifier can report is a :class:`Diagnostic`: a stable
+``code`` (kebab-case, namespaced by the checker that owns it), a JSON
+``path`` locating the offending value inside the submission payload
+(``"/topology/arcs/3"``), a ``severity``, and a human-readable
+``message``.  Diagnostics are plain data — the verifier never raises on
+a bad scenario, it *describes* it — so the same objects flow unchanged
+through ``Scenario.analyze()``, the ``lab check`` CLI, and the
+``repro.serve`` pre-admission gate's structured 400 body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import AnalysisError
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Recognised severities, most severe first.
+SEVERITIES: tuple[str, ...] = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding about a scenario payload or object.
+
+    ``code`` is stable across releases (tools may match on it);
+    ``path`` is a JSON pointer-style locator into the payload that
+    produced the finding, ``""`` for whole-scenario findings.
+    """
+
+    code: str
+    path: str
+    severity: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise AnalysisError(
+                f"unknown diagnostic severity {self.severity!r}; "
+                f"use one of {', '.join(SEVERITIES)}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+def has_errors(diagnostics: tuple[Diagnostic, ...] | list[Diagnostic]) -> bool:
+    """True when any diagnostic is severity ``error``."""
+    return any(d.severity == ERROR for d in diagnostics)
+
+
+def error(code: str, path: str, message: str) -> Diagnostic:
+    return Diagnostic(code=code, path=path, severity=ERROR, message=message)
+
+
+def warning(code: str, path: str, message: str) -> Diagnostic:
+    return Diagnostic(code=code, path=path, severity=WARNING, message=message)
+
+
+def info(code: str, path: str, message: str) -> Diagnostic:
+    return Diagnostic(code=code, path=path, severity=INFO, message=message)

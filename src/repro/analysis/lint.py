@@ -1,0 +1,260 @@
+"""`repro lint`: an AST pass enforcing the repo's own invariants.
+
+Six PRs of growth created cross-cutting contracts nothing type-checks:
+run keys must stay deterministic, executor threads must not touch
+loop-affine service state, milestone strings must come from the
+:mod:`repro.sim.milestones` vocabulary, and the wire schema must cover
+that vocabulary exhaustively.  This module is the framework — a
+:class:`LintRule` sees one parsed :class:`LintModule` at a time and
+yields :class:`LintViolation`\\ s — and the CLI behind
+``python -m repro lint``; the built-in rules live in
+:mod:`repro.analysis.rules` and the CI gate keeps ``src/`` clean while
+``tests/lint_fixtures/`` proves each rule still fires.
+
+Rules key their applicability off the *logical dotted module name*
+(``repro.serve.service``), normally derived from the file path; pass
+``module=`` to :func:`lint_file` to impersonate a scoped module — how
+the seeded-violation fixtures exercise scope-limited rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import LintError
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding: which rule fired, where, and why."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LintModule:
+    """One parsed source file as the rules see it.
+
+    ``module`` is the logical dotted name (``repro.serve.service``) —
+    the unit of rule applicability; ``path`` is only for reporting.
+    """
+
+    path: str
+    module: str
+    tree: ast.Module
+
+    def docstring_nodes(self) -> frozenset[int]:
+        """``id()``\\ s of every bare-string expression statement
+        (docstrings and stray string literals) — rules that inspect
+        string constants skip these."""
+        found: set[int] = set()
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    found.add(id(stmt.value))
+        return frozenset(found)
+
+
+class LintRule:
+    """Base class for lint rules; subclasses set ``name``/``description``
+    and implement :meth:`check`."""
+
+    #: Registry key (``--rule`` selects by it); subclasses must override.
+    name: str = ""
+
+    #: One-line description for ``--list-rules``.
+    description: str = ""
+
+    def check(self, module: LintModule) -> Iterator[LintViolation]:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement check()"
+        )
+
+    def violation(
+        self, module: LintModule, node: ast.AST, message: str
+    ) -> LintViolation:
+        return LintViolation(
+            rule=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def default_rules() -> tuple[LintRule, ...]:
+    """Fresh instances of every built-in rule (import deferred so the
+    framework stays importable from the rules module itself)."""
+    from repro.analysis.rules import BUILTIN_RULES
+
+    return tuple(rule_type() for rule_type in BUILTIN_RULES)
+
+
+def _select_rules(names: Sequence[str] | None) -> tuple[LintRule, ...]:
+    rules = default_rules()
+    if not names:
+        return rules
+    by_name = {rule.name: rule for rule in rules}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise LintError(
+            f"unknown lint rule(s): {', '.join(sorted(missing))}",
+            tuple(by_name),
+        )
+    return tuple(by_name[name] for name in names)
+
+
+def module_name_for(path: Path) -> str:
+    """The logical dotted module name of ``path``.
+
+    Walks up from the file to the outermost package (directory chain
+    with ``__init__.py``), so ``.../src/repro/serve/service.py``
+    becomes ``repro.serve.service`` regardless of where the tree lives.
+    Files outside any package lint under their bare stem.
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+def lint_file(
+    path: str | Path,
+    module: str | None = None,
+    rules: Sequence[LintRule] | None = None,
+) -> tuple[LintViolation, ...]:
+    """Lint one file; ``module`` overrides the derived dotted name."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {file_path}: {exc}") from None
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {file_path}: {exc}") from None
+    parsed = LintModule(
+        path=str(file_path),
+        module=module if module is not None else module_name_for(file_path),
+        tree=tree,
+    )
+    active = tuple(rules) if rules is not None else default_rules()
+    violations: list[LintViolation] = []
+    for rule in active:
+        violations.extend(rule.check(parsed))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return tuple(violations)
+
+
+def _iter_sources(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise LintError(f"not a python source or directory: {path}")
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package tree (what CI lints)."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def run_lint(
+    paths: Sequence[str | Path] | None = None,
+    rules: Sequence[LintRule] | None = None,
+) -> tuple[LintViolation, ...]:
+    """Lint files/directories (default: the whole ``repro`` package)."""
+    targets: Iterable[str | Path] = paths if paths else (default_target(),)
+    violations: list[LintViolation] = []
+    for source in _iter_sources(tuple(targets)):
+        violations.extend(lint_file(source, rules=rules))
+    return tuple(violations)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST lint pass enforcing repro's own code invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit violations as JSON"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list built-in rules and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.name:24} {rule.description}")
+        return 0
+    try:
+        rules = _select_rules(args.rules)
+        violations = run_lint(args.paths or None, rules=rules)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([v.to_dict() for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        label = "violation" if len(violations) == 1 else "violations"
+        print(f"{len(violations)} {label}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -273,6 +273,24 @@ class Scenario:
         """Strategy names resolved to party classes (hashkey engines)."""
         return {v: resolve_strategy(name) for v, name in self.strategies.items()}
 
+    def analyze(self, engine: str = "herlihy") -> Any:
+        """Statically verify this scenario without executing it.
+
+        Returns a :class:`repro.analysis.protocol.ScenarioAnalysis`:
+        structural diagnostics (strong connectivity, leader validity,
+        timing sanity — each with a machine-readable code and JSON
+        path), and, for conforming scenarios, the closed-form Fig. 3
+        profile (deadline ladder, milestone counts, completion time,
+        escrowed-byte cost) plus the all-Deal verdict.  Never raises on
+        a bad scenario — problems come back as diagnostics.
+
+        Imported lazily: the verifier depends on this module, not the
+        other way round.
+        """
+        from repro.analysis.protocol import analyze_scenario
+
+        return analyze_scenario(self, engine=engine)
+
     def with_(self, **changes: Any) -> "Scenario":
         """A modified copy (``dataclasses.replace`` with a short name)."""
         return replace(self, **changes)

@@ -187,6 +187,30 @@ class UnknownWorkloadError(LabError):
 
 
 # ---------------------------------------------------------------------------
+# Static analysis (repro.analysis.protocol / repro.analysis.lint)
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Misuse of the static scenario-verifier API (not a finding: the
+    verifier reports scenario problems as diagnostics, never raises)."""
+
+
+class LintError(ReproError):
+    """Misuse of the AST lint pass (unknown rule, unreadable source).
+
+    The message lists registered rule names where that helps, matching
+    the self-diagnosing convention of the other registries.
+    """
+
+    def __init__(self, message: str, registered: tuple[str, ...] | list[str] = ()) -> None:
+        self.registered = tuple(registered)
+        if self.registered:
+            message += f"; registered rules: {', '.join(sorted(self.registered))}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Swap service (repro.serve)
 # ---------------------------------------------------------------------------
 

@@ -34,14 +34,23 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.outcomes import ACCEPTABLE_OUTCOMES, Outcome
-from repro.errors import LabError
+from repro.errors import LabError, ReproError
 from repro.lab.store import RunStore
+from repro.sim import milestones
 
 #: The group-by dimensions every stored run exposes.
 DIMENSIONS = ("engine", "family", "mix", "params", "timing")
+
+#: ``DIMENSIONS`` plus the derived group-bys ``aggregate`` accepts.
+#: ``verdict`` is the static analyzer's predicted all-Deal verdict
+#: (:mod:`repro.analysis.protocol`), recomputed from the stored scenario
+#: — grouping observed ``all-Deal`` rates by it makes
+#: prediction-vs-observed divergence visible straight from the CLI.
+GROUPABLE_DIMENSIONS = (*DIMENSIONS, "verdict")
 
 _ACCEPTABLE_VALUES = frozenset(o.value for o in ACCEPTABLE_OUTCOMES)
 _DEAL = Outcome.DEAL.value
@@ -131,6 +140,28 @@ class RunFacts:
     milestones: dict[str, int] | None = None
     """Milestone counts recorded beside the report (1.5+ stores); ``None``
     for failure records and entries recorded before the session API."""
+    scenario_dict: dict | None = None
+    """The serialized scenario, kept for derived dimensions that need to
+    reconstruct it (``verdict``); ``None`` only for hand-built facts."""
+
+    @cached_property
+    def verdict(self) -> str:
+        """The static analyzer's predicted all-Deal verdict for this run
+        (:func:`repro.analysis.protocol.analyze_scenario`), computed
+        lazily — only ``--by verdict`` aggregations pay for it."""
+        if self.scenario_dict is None:
+            return "unknown"
+        from repro.analysis.protocol import analyze_scenario
+        from repro.api.scenario import Scenario
+
+        try:
+            scenario = Scenario.from_dict(dict(self.scenario_dict))
+        except (ReproError, KeyError, TypeError, ValueError):
+            # Old or hand-built store entries may carry scenario dicts
+            # from_dict no longer accepts; a stats aggregation must
+            # classify them, not crash on them.
+            return "invalid"
+        return analyze_scenario(scenario, engine=self.engine).verdict
 
 
 def timing_of(scenario: dict) -> str:
@@ -172,6 +203,7 @@ def entry_facts(key: str, entry: dict) -> RunFacts:
             stored_bytes=report.get("stored_bytes"),
             wall_seconds=report.get("wall_seconds"),
             milestones=entry.get("milestones"),
+            scenario_dict=scenario,
             **parse_lab_name(name),
         )
     scenario = entry.get("scenario", {})
@@ -188,6 +220,7 @@ def entry_facts(key: str, entry: dict) -> RunFacts:
         completion_time=None,
         stored_bytes=None,
         wall_seconds=None,
+        scenario_dict=scenario,
         **parse_lab_name(name),
     )
 
@@ -293,13 +326,16 @@ class GroupStats:
 
 
 def check_dimensions(by: Sequence[str]) -> tuple[str, ...]:
-    """Validate group-by dimensions; shared with the ``lab stats`` CLI."""
+    """Validate group-by dimensions; shared with the ``lab stats`` CLI.
+
+    Accepts the stored :data:`DIMENSIONS` plus the derived ``verdict``
+    dimension (the analyzer's predicted all-Deal verdict)."""
     by = tuple(by)
-    unknown = [dim for dim in by if dim not in DIMENSIONS]
+    unknown = [dim for dim in by if dim not in GROUPABLE_DIMENSIONS]
     if not by or unknown:
         raise LabError(
-            f"group-by dimensions must be among {', '.join(DIMENSIONS)}; "
-            f"got {list(by) or '<none>'}"
+            "group-by dimensions must be among "
+            f"{', '.join(GROUPABLE_DIMENSIONS)}; got {list(by) or '<none>'}"
         )
     return by
 
@@ -440,11 +476,11 @@ def _fmt(value: float | None, spec: str = ".2f") -> str:
 
 #: Compact labels for the milestone column of ``stats_table``.
 _MILESTONE_SHORT = {
-    "phase1-start": "p1",
-    "contract-escrowed": "esc",
-    "secret-released": "sec",
-    "phase2-complete": "p2",
-    "settled": "end",
+    milestones.PHASE1_START: "p1",
+    milestones.CONTRACT_ESCROWED: "esc",
+    milestones.SECRET_RELEASED: "sec",
+    milestones.PHASE2_COMPLETE: "p2",
+    milestones.SETTLED: "end",
 }
 
 

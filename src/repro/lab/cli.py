@@ -5,6 +5,10 @@ Subcommands::
     lab run       expand a workload (preset or --family) and execute it
                   through the content-addressed store; warm re-runs
                   execute zero engines
+    lab check     statically verify workloads without executing them:
+                  structural diagnostics + closed-form predictions
+                  (repro.analysis.protocol); --verify runs the engines
+                  and byte-compares predictions against the reports
     lab bisect    binary-search a timing knob (stragglers `violation`)
                   per topology family to the all-Deal boundary
     lab ls        list stored runs (key, engine, scenario, verdict)
@@ -24,6 +28,9 @@ Examples::
     python -m repro lab run --family erdos-renyi --grid n=6,8 p=0.2 \\
         --mix all-conforming --mix phase-crash --engine herlihy
     python -m repro lab run --preset smoke --timing jittered
+    python -m repro lab check                      # every family, statically
+    python -m repro lab check --family wheel --grid rim=4,6 --verify
+    python -m repro lab check --preset topologies --json
     python -m repro lab bisect --knob violation --family cycle --family clique
     python -m repro lab bisect --family wheel --timing-kind adaptive-stragglers
     python -m repro lab ls
@@ -31,6 +38,7 @@ Examples::
     python -m repro lab diff 3f2a 9c41
     python -m repro lab stats --by engine,mix
     python -m repro lab stats --by timing
+    python -m repro lab stats --by verdict         # predicted vs observed
     python -m repro lab stats --compare herlihy naive-timelock --json
     python -m repro lab merge all.sqlite shard1.jsonl shard2.sqlite
 
@@ -220,6 +228,153 @@ def _progress_printer():
     return show
 
 
+def _check_workloads(args: argparse.Namespace) -> list[Workload]:
+    """The workloads ``lab check`` analyzes (default: every family)."""
+    if args.preset:
+        return list(get_preset(args.preset))
+    if args.family:
+        return [
+            Workload(
+                args.family,
+                _parse_grid(args.grid),
+                mixes=tuple(args.mix) if args.mix else ("all-conforming",),
+                engines=tuple(args.engine) if args.engine else ("herlihy",),
+            )
+        ]
+    return [
+        Workload(name, dict(get_family(name).defaults))
+        for name in list_families()
+    ]
+
+
+def _verify_prediction(engine: str, scenario, analysis) -> tuple[str, list[str]]:
+    """Execute ``scenario`` and compare the report to the static analysis.
+
+    Returns ``(status, mismatches)`` with status ``"ok"``, ``"skip"``
+    (coverage none on a valid scenario — nothing checkable), or
+    ``"FAIL"``.  Full-coverage predictions must byte-match the report;
+    verdict-only coverage checks the end state; invalid scenarios must
+    be refused by the engine (the analyzer and the engines agree on
+    what is runnable).
+    """
+    from repro.analysis.protocol import (
+        COVERAGE_FULL,
+        COVERAGE_VERDICT,
+        VERDICT_INVALID,
+    )
+    from repro.api.engine import get_engine
+
+    if analysis.verdict == VERDICT_INVALID:
+        try:
+            get_engine(engine).run(scenario)
+        except ReproError:
+            return "ok", []
+        return "FAIL", ["engine ran a scenario the analyzer called invalid"]
+    if analysis.coverage == COVERAGE_VERDICT:
+        report = get_engine(engine).run(scenario)
+        if report.all_deal():
+            return "FAIL", ["predicted not-all-deal but every party ended Deal"]
+        return "ok", []
+    if analysis.coverage != COVERAGE_FULL:
+        return "skip", []
+    report = get_engine(engine).run(scenario)
+    prediction = analysis.prediction
+    mismatches = [
+        f"{field}: predicted {predicted!r}, observed {observed!r}"
+        for field, predicted, observed in (
+            ("leaders", prediction.leaders, tuple(report.leaders)),
+            ("completion_time", prediction.completion_time, report.completion_time),
+            ("phase_two_bound", prediction.phase_two_bound, report.phase_two_bound),
+            ("unlock_calls", prediction.unlock_calls, report.unlock_calls),
+            (
+                "milestone_counts",
+                prediction.milestone_counts,
+                report.milestone_counts(),
+            ),
+            (
+                "contract_storage_bytes",
+                prediction.contract_storage_bytes,
+                report.contract_storage_bytes,
+            ),
+            ("all_deal", True, report.all_deal()),
+        )
+        if predicted != observed
+    ]
+    return ("FAIL", mismatches) if mismatches else ("ok", [])
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.protocol import analyze_scenario
+
+    workloads = _check_workloads(args)
+    if args.timing:
+        for name in args.timing:
+            get_timing(name)
+        workloads = [replace(w, timings=tuple(args.timing)) for w in workloads]
+    sweep = build_sweep(workloads, name="check", base_seed=args.seed)
+    rows: list[list[object]] = []
+    payload: list[dict[str, Any]] = []
+    errors = 0
+    failed: list[tuple[str, list[str]]] = []
+    for engine, scenario in sweep.items():
+        analysis = analyze_scenario(scenario, engine=engine)
+        if not analysis.ok():
+            errors += 1
+        status, mismatches = ("-", [])
+        if args.verify:
+            status, mismatches = _verify_prediction(engine, scenario, analysis)
+            if status == "FAIL":
+                failed.append((scenario.label(), mismatches))
+        prediction = analysis.prediction
+        if args.json:
+            entry: dict[str, Any] = {
+                "engine": engine,
+                "scenario": scenario.label(),
+                "analysis": analysis.to_dict(),
+            }
+            if args.verify:
+                entry["verify"] = {"status": status, "mismatches": mismatches}
+            payload.append(entry)
+            continue
+        rows.append(
+            [
+                scenario.label(),
+                engine,
+                analysis.coverage,
+                analysis.verdict,
+                "-" if prediction is None else prediction.completion_time,
+                "-"
+                if prediction is None
+                else f"{prediction.completion_in_delta():g}Δ",
+                len(analysis.diagnostics),
+                *([status] if args.verify else []),
+            ]
+        )
+    if args.json:
+        print(json.dumps({"checks": payload}, indent=2, sort_keys=True))
+    else:
+        headers = [
+            "scenario", "engine", "coverage", "verdict", "t(pred)",
+            "span/Δ", "diags",
+        ]
+        if args.verify:
+            headers.append("verify")
+        print(_format_rows(headers, rows))
+        checked = len(rows)
+        note = f"{checked} scenario(s) checked, {errors} with errors"
+        if args.verify:
+            note += f", {len(failed)} prediction failure(s)"
+        print(note)
+        for label, mismatches in failed:
+            for mismatch in mismatches:
+                print(f"  FAIL {label}: {mismatch}", file=sys.stderr)
+    if failed:
+        return 1
+    if args.strict and errors:
+        return 1
+    return 0
+
+
 #: Families `lab bisect` maps when none are named: small, strongly
 #: connected, and spanning one-leader / max-leader / two-leader shapes.
 _DEFAULT_BISECT_FAMILIES = ("cycle", "clique", "wheel")
@@ -390,7 +545,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     by = tuple(dim for dim in args.by.split(",") if dim)
     if not by:
         raise LabError(
-            "--by needs at least one of engine, family, mix, params, timing"
+            "--by needs at least one of engine, family, mix, params, "
+            "timing, verdict"
         )
     if args.compare and args.engine:
         # Filtering would silently zero one side of the head-to-head.
@@ -568,6 +724,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_arg(run)
     run.set_defaults(func=_cmd_run)
 
+    check = sub.add_parser(
+        "check",
+        help="statically verify workloads (diagnostics + closed-form "
+             "predictions) without executing them",
+    )
+    check_target = check.add_mutually_exclusive_group()
+    check_target.add_argument(
+        "--preset", help="a registered preset (see `lab presets`)"
+    )
+    check_target.add_argument(
+        "--family", help="a topology family (default: every family)"
+    )
+    check.add_argument(
+        "--grid", nargs="*", default=[], metavar="K=V[,V...]",
+        help="family params; comma-separated values are swept",
+    )
+    check.add_argument("--mix", action="append", help="adversary mix (repeatable)")
+    check.add_argument("--engine", action="append", help="engine (repeatable)")
+    check.add_argument(
+        "--timing", action="append",
+        help="timing profile (repeatable) — replaces every workload's "
+             "timing axis",
+    )
+    check.add_argument(
+        "--seed", type=int, default=None,
+        help="replace every workload's seed",
+    )
+    check.add_argument(
+        "--verify", action="store_true",
+        help="also execute each scenario and cross-check the analysis: "
+             "full-coverage predictions must byte-match the report, "
+             "invalid scenarios must be refused by the engine "
+             "(exit 1 on any mismatch)",
+    )
+    check.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any scenario has error-severity diagnostics",
+    )
+    check.add_argument("--json", action="store_true", help="machine-readable")
+    check.set_defaults(func=_cmd_check)
+
     bisect = sub.add_parser(
         "bisect",
         help="binary-search a timing knob to the all-Deal boundary "
@@ -625,8 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="cross-sweep aggregates")
     stats.add_argument(
         "--by", default="engine", metavar="DIM[,DIM...]",
-        help="group-by dimensions: engine, family, mix, params, timing "
-             "(comma-separated; default engine)",
+        help="group-by dimensions: engine, family, mix, params, timing, "
+             "verdict (comma-separated; default engine)",
     )
     stats.add_argument(
         "--engine", action="append",

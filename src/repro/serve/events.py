@@ -46,6 +46,13 @@ EVENT_KINDS: tuple[str, ...] = (
 #: Envelope kinds after which a job's stream emits nothing further.
 TERMINAL_EVENTS: frozenset[str] = frozenset({"settled", "failed", "aborted"})
 
+#: The milestone vocabulary this wire schema covers.  Deliberately an
+#: alias (not a copy) of the simulator's vocabulary: a milestone kind
+#: added to :mod:`repro.sim.milestones` is on the wire the same release,
+#: and the ``wire-schema`` lint rule plus ``tests/test_serve_events.py``
+#: enforce that this stays an alias.
+WIRE_MILESTONE_KINDS: tuple[str, ...] = MILESTONE_KINDS
+
 
 def milestone_to_wire(milestone: Milestone) -> dict[str, Any]:
     """Encode one milestone for the wire, validating its kind."""

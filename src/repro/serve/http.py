@@ -266,6 +266,30 @@ class ServeHTTP:
             raise HttpError(
                 400, 'submission body must be {"engine"?: str, "scenario": {...}}'
             )
+        # Pre-admission gate: statically verify the submission before it
+        # can claim an execution slot.  Structural defects come back as a
+        # 400 with one machine-readable diagnostic (code + JSON path) per
+        # problem instead of a single opaque parse error.
+        from repro.analysis.diagnostics import has_errors
+        from repro.analysis.protocol import check_submission
+
+        diagnostics = check_submission(
+            payload["scenario"],
+            engine=payload.get("engine") or self.service.config.default_engine,
+        )
+        if has_errors(diagnostics):
+            _json_response(
+                writer,
+                400,
+                {
+                    "error": "invalid-scenario",
+                    "message": "submission failed static verification",
+                    "diagnostics": [
+                        d.to_dict() for d in diagnostics
+                    ],
+                },
+            )
+            return True
         result = self.service.submit(
             payload["scenario"],
             engine=payload.get("engine"),

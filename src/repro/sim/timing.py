@@ -50,6 +50,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.crypto.hashing import sha256
 from repro.errors import TimingError
 from repro.sim.clock import ticks
+from repro.sim.milestones import MILESTONE_KINDS, SECRET_RELEASED, SETTLED
 from repro.sim.process import ReactionProfile
 
 #: The timing kind applied when a scenario does not name one.
@@ -317,11 +318,9 @@ class AdaptiveStragglerTiming(StragglerTiming):
         count: int = 1,
         violation: float = 3.0,
         parties: Sequence[str] | None = None,
-        at: str = "secret-released",
+        at: str = SECRET_RELEASED,
     ) -> None:
         super().__init__(count=count, violation=violation, parties=parties)
-        from repro.sim.milestones import MILESTONE_KINDS, SETTLED
-
         if at not in MILESTONE_KINDS or at == SETTLED:
             usable = ", ".join(k for k in MILESTONE_KINDS if k != SETTLED)
             raise TimingError(

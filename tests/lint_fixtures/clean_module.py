@@ -1,0 +1,14 @@
+"""Negative fixture: sanctioned idioms that must NOT fire any rule.
+
+Linted while impersonating a ``repro.digraph`` module — seeded
+randomness and sorted set iteration are exactly what the determinism
+rule steers code toward.
+"""
+
+import random
+
+
+def sample(seed, items):
+    rng = random.Random(seed)
+    ordered = sorted({item for item in items})
+    return rng.choice(ordered), [x for x in sorted(set(items))]

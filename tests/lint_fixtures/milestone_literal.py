@@ -1,0 +1,13 @@
+"""Seeded-violation fixture: hyphenated milestone kind literals.
+
+Linted while impersonating a ``repro`` module other than the defining
+one; both comparisons below must fire ``milestone-literals``, while the
+bare-string statement in docstring position must stay exempt.
+"""
+
+
+def phase_one_started(event):
+    "phase1-start"
+    escrowed = event.kind == "contract-escrowed"
+    released = event.kind == "secret-released"
+    return escrowed or released

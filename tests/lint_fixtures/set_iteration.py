@@ -1,0 +1,13 @@
+"""Seeded-violation fixture: set-iteration order dependence.
+
+Linted while impersonating ``repro.lab.store``; all four unordered
+iterations below must fire the ``determinism`` rule.
+"""
+
+
+def labels(arcs):
+    out = []
+    for arc in {a for a in arcs}:          # for over a set comprehension
+        out.append(arc)
+    names = [v for v in {"a", "b"}]        # comprehension over a set display
+    return ",".join(set(out)), list({1, 2, 3}), names  # join + list over sets

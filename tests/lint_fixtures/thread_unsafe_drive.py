@@ -1,0 +1,16 @@
+"""Seeded-violation fixture: executor thread touching loop-affine state.
+
+Linted while impersonating a ``repro.serve`` module; the attribute
+mutation, the direct loop-affine call, and the store call inside
+``_drive`` must all fire ``serve-thread-safety``.  The
+``call_soon_threadsafe`` hand-off is the sanctioned pattern and must
+stay clean.
+"""
+
+
+class FixtureService:
+    def _drive(self, job):
+        self.active -= 1                           # loop-affine mutation
+        self._publish_milestone(job, {"k": 1})     # loop-affine call
+        self.store.put(job.report)                 # store is loop-owned
+        self.loop.call_soon_threadsafe(self._publish, job)  # sanctioned

@@ -1,0 +1,14 @@
+"""Seeded-violation fixture: unseeded randomness in a run-key module.
+
+Linted while impersonating a ``repro.digraph`` module; every draw from
+the global generator below must fire the ``determinism`` rule.
+"""
+
+import random
+from random import choice
+
+
+def shuffle_vertices(vertices):
+    pick = choice(list(vertices))          # imported from random
+    random.shuffle(vertices)               # global generator
+    return pick, random.random()           # global generator

@@ -1,0 +1,12 @@
+"""Seeded-violation fixture: wall-clock reads in a hash-affecting module.
+
+Linted while impersonating a ``repro.digraph`` module; both reads below
+must fire the ``determinism`` rule.
+"""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now()

@@ -1,0 +1,16 @@
+"""Seeded-violation fixture: a drifted wire schema.
+
+Linted while impersonating ``repro.serve.events``.  Five drifts, five
+``wire-schema`` violations: the kinds tuple is a stale copy instead of
+an alias, the envelope vocabulary lost ``"milestone"``, a terminal
+event is not an envelope event, the encoder skips vocabulary
+validation, and the decoder is missing entirely.
+"""
+
+WIRE_MILESTONE_KINDS = ("settled",)
+EVENT_KINDS = ("accepted", "settled")
+TERMINAL_EVENTS = frozenset({"settled", "exploded"})
+
+
+def milestone_to_wire(milestone):
+    return {"kind": milestone.kind}

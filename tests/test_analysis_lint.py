@@ -1,0 +1,149 @@
+"""The AST lint pass: every seeded fixture caught, today's repo clean.
+
+The acceptance bar for :mod:`repro.analysis.lint`: each rule fires on
+its ``tests/lint_fixtures/`` violation file (100% of seeded violations
+caught, at the expected locations), the sanctioned idioms stay clean,
+and the whole installed ``repro`` package lints clean — the same gate
+CI runs via ``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    LintModule,
+    default_rules,
+    lint_file,
+    main,
+    module_name_for,
+    run_lint,
+)
+from repro.analysis.rules import (
+    BUILTIN_RULES,
+    DeterminismRule,
+    MilestoneLiteralRule,
+    ServeThreadSafetyRule,
+    WireSchemaRule,
+)
+from repro.errors import LintError
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+#: fixture file -> (impersonated module, expected rule, expected count)
+SEEDED = {
+    "unseeded_random.py": ("repro.digraph.fixture", "determinism", 3),
+    "wall_clock.py": ("repro.digraph.fixture", "determinism", 2),
+    "set_iteration.py": ("repro.lab.store.fixture", "determinism", 4),
+    "thread_unsafe_drive.py": (
+        "repro.serve.fixture",
+        "serve-thread-safety",
+        3,
+    ),
+    "milestone_literal.py": ("repro.lab.fixture", "milestone-literals", 2),
+    "wire_schema_drift.py": ("repro.serve.events", "wire-schema", 5),
+}
+
+
+class TestSeededFixtures:
+    @pytest.mark.parametrize("filename", sorted(SEEDED))
+    def test_every_seeded_violation_is_caught(self, filename):
+        module, rule, count = SEEDED[filename]
+        violations = lint_file(FIXTURES / filename, module=module)
+        fired = [v for v in violations if v.rule == rule]
+        assert len(fired) == count, [v.render() for v in violations]
+        # Everything anchors to a real source line except findings about
+        # nodes that do not exist (a missing codec function).
+        assert all(v.line > 0 or "missing" in v.message for v in fired)
+
+    def test_clean_fixture_stays_clean(self):
+        assert lint_file(
+            FIXTURES / "clean_module.py", module="repro.digraph.fixture"
+        ) == ()
+
+    def test_fixtures_are_inert_under_their_real_path(self):
+        # Without impersonation the fixtures lint under their bare stem,
+        # outside every rule's scope — the suite itself stays lintable.
+        for filename in SEEDED:
+            if filename == "wire_schema_drift.py":
+                continue  # wire-schema keys off the module name too
+            assert lint_file(FIXTURES / filename) == ()
+
+    def test_scope_tiers_differ(self):
+        # Wall-clock reads are banned in hash-affecting modules but
+        # sanctioned observability in the store layer (recorded_at).
+        path = FIXTURES / "wall_clock.py"
+        assert lint_file(path, module="repro.digraph.fixture")
+        assert lint_file(path, module="repro.lab.store.fixture") == ()
+
+
+class TestRepoIsClean:
+    def test_installed_package_lints_clean(self):
+        violations = run_lint()
+        assert violations == (), [v.render() for v in violations]
+
+    def test_wire_milestone_kinds_is_an_alias_not_a_copy(self):
+        # What the wire-schema rule enforces syntactically, asserted
+        # semantically: the wire vocabulary IS the simulator vocabulary.
+        from repro.serve.events import WIRE_MILESTONE_KINDS
+        from repro.sim.milestones import MILESTONE_KINDS
+
+        assert WIRE_MILESTONE_KINDS is MILESTONE_KINDS
+
+
+class TestFramework:
+    def test_module_name_derivation(self):
+        import repro.serve.service as service
+
+        assert module_name_for(Path(service.__file__)) == "repro.serve.service"
+        assert module_name_for(FIXTURES / "wall_clock.py") == "wall_clock"
+
+    def test_rule_registry_is_complete(self):
+        assert {r.name for r in default_rules()} == {
+            "determinism",
+            "serve-thread-safety",
+            "milestone-literals",
+            "wire-schema",
+        }
+        assert BUILTIN_RULES == (
+            DeterminismRule,
+            ServeThreadSafetyRule,
+            MilestoneLiteralRule,
+            WireSchemaRule,
+        )
+
+    def test_rule_selection_rejects_unknown_names(self):
+        from repro.analysis.lint import _select_rules
+
+        with pytest.raises(LintError) as excinfo:
+            _select_rules(["tabs-vs-spaces"])
+        assert "determinism" in str(excinfo.value)
+        assert excinfo.value.registered
+
+    def test_violations_sort_and_render(self):
+        violations = lint_file(
+            FIXTURES / "set_iteration.py", module="repro.lab.store.fixture"
+        )
+        keys = [(v.path, v.line, v.col, v.rule) for v in violations]
+        assert keys == sorted(keys)
+        rendered = violations[0].render()
+        assert rendered.startswith(violations[0].path)
+        assert "[determinism]" in rendered
+
+    def test_cli_reports_and_exits_nonzero(self, capsys):
+        # A directory of fixtures linted under real paths is inert, so
+        # point the CLI at one file while selecting only wire-schema —
+        # which keys off the module name and stays silent — then check
+        # the clean exit; the violation path is covered via run_lint.
+        code = main(["--rule", "wire-schema", str(FIXTURES / "wall_clock.py")])
+        assert code == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_cli_unknown_rule_lists_registered(self, capsys):
+        code = main(["--rule", "tabs-vs-spaces", str(FIXTURES)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "tabs-vs-spaces" in err
+        assert "determinism" in err and "wire-schema" in err

@@ -197,10 +197,18 @@ class TestAggregate:
         assert stats.all_deal_rate == 0.0 and stats.thm49_safe_rate == 0.0
         assert stats.completion_mean is None and stats.completion_p90 is None
 
-    @pytest.mark.parametrize("by", [(), ("engine", "vibe"), ("verdict",)])
+    @pytest.mark.parametrize("by", [(), ("engine", "vibe"), ("outcome",)])
     def test_rejects_bad_dimensions(self, by):
         with pytest.raises(LabError):
             aggregate(self.facts(), by=by)
+
+    def test_verdict_is_groupable(self):
+        # The analyzer's predicted verdict joined the groupable set.
+        stats = aggregate(self.facts(), by=("verdict",))
+        assert stats and all(
+            dict(gs.group)["verdict"] for gs in stats
+        )
+        assert sum(gs.runs for gs in stats) == 4
 
     def test_stats_payload_shape(self):
         payload = stats_payload(self.facts(), by=("engine",))

@@ -72,7 +72,38 @@ class TestRoutes:
         status, _, doc = client.request(
             "POST", "/v1/runs", {"scenario": {"nonsense": True}}
         )
-        assert status == 400 and doc["error"] == "bad-request"
+        # The pre-admission gate answers with one machine-readable
+        # diagnostic (code + JSON path) per structural defect, before
+        # the submission can claim an execution slot.
+        assert status == 400 and doc["error"] == "invalid-scenario"
+        codes = {d["code"] for d in doc["diagnostics"]}
+        assert "payload/unknown-field" in codes
+        assert "topology/missing" in codes
+        for diagnostic in doc["diagnostics"]:
+            assert set(diagnostic) == {"code", "path", "severity", "message"}
+
+    def test_structurally_invalid_scenario_is_gated_with_json_paths(self, server):
+        client = server.client()
+        scenario = sample_scenarios(1)[0]
+        scenario["leaders"] = [scenario["topology"]["vertices"][0], "Z"]
+        status, _, doc = client.request("POST", "/v1/runs", {"scenario": scenario})
+        assert status == 400 and doc["error"] == "invalid-scenario"
+        by_code = {d["code"]: d for d in doc["diagnostics"]}
+        assert by_code["leaders/unknown-vertex"]["path"] == "/leaders/1"
+
+        # Payload-shape clean but graph-level broken: the gate still
+        # catches it before an execution slot is claimed.
+        scenario = sample_scenarios(1)[0]
+        scenario["topology"] = {
+            "kind": "digraph",
+            "vertices": ["A", "B"],
+            "arcs": [["A", "B"]],  # not strongly connected
+        }
+        scenario.pop("leaders", None)
+        status, _, doc = client.request("POST", "/v1/runs", {"scenario": scenario})
+        assert status == 400 and doc["error"] == "invalid-scenario"
+        codes = {d["code"] for d in doc["diagnostics"]}
+        assert "digraph/not-strongly-connected" in codes
 
     def test_unknown_engine_is_400(self, server):
         status, _, _ = server.client().request(
