@@ -82,7 +82,7 @@ from repro.errors import ReproError, ScenarioError, UnknownEngineError
 from repro.lab import RunStore, Workload, build_sweep, open_store
 from repro.sim.faults import Crash, CrashPoint, FaultPlan
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ACCEPTABLE_OUTCOMES",

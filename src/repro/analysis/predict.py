@@ -16,12 +16,16 @@ and per-arc chain lag ``lag(u, v)``:
   its own entering arcs; a party ``v`` learns secret ``i`` at the
   cheapest moment any of its out-arc counterparties' unlocks become
   observable — a shortest-path (Dijkstra) relaxation over
-  ``know(v, i) = min over arcs (v, x) of [know(x, i) + a + r + lag(v, x)]``.
+  ``know(v, i) = min over arcs (v, x) of
+  [max(know(x, i), p(v) + r + lag(v, x)) + a + r + lag(v, x)]``
+  (the inner ``max`` is the Phase One gate: ``x`` cannot unlock chain
+  ``(v, x)`` before observing that chain's contract).
 
-* **Completion** — an arc ``(w, v)`` is claimed ``2a`` after ``v`` holds
-  every secret: ``completion = max over arcs (w, v) of
-  [max_i know(v, i) + 2a]``, which Theorem 4.7 bounds by
-  ``T + (2·diam + slack)·Δ``.
+* **Completion** — an arc ``(w, v)`` is claimed ``2a`` after its last
+  unlock lands, each unlock gated by the arc's own contract:
+  ``completion = max over arcs (w, v) of
+  [max(max_i know(v, i), p(w) + r + lag(w, v)) + 2a]``, which
+  Theorem 4.7 bounds by ``T + (2·diam + slack)·Δ``.
 
 * **Deadline ladder** (§4.1) — a hashkey carrying a path of length
   ``ℓ`` expires at ``T + (diam + ℓ + slack)·Δ``; the ladder is the
@@ -192,6 +196,13 @@ def predict(scenario: Scenario) -> tuple[Prediction, tuple[Diagnostic, ...]]:
     }
 
     # Key propagation: know(v, i) via Dijkstra over the min-relaxation.
+    # Phase One gates Phase Two per arc: x cannot unlock chain (v, x)
+    # before observing that chain's *contract*, so the unlock lands at
+    # max(know(x, i), publish(v) + observe) + a — not know(x, i) + a —
+    # and v then learns at land + observe.  Dense topologies never bind
+    # the gate (publishing finishes before keys travel back), but sparse
+    # graphs with deep Phase One chains do, and the ungated relaxation
+    # would predict knowledge times the simulator cannot achieve.
     know: dict[tuple[Vertex, int], int] = {}
     for i, leader in enumerate(leaders):
         dist: dict[Vertex, int] = {leader: phase_two_start[leader]}
@@ -201,7 +212,8 @@ def predict(scenario: Scenario) -> tuple[Prediction, tuple[Diagnostic, ...]]:
             if when > dist.get(x, when):
                 continue
             for v in digraph.in_neighbors(x):
-                candidate = when + action + reaction + lag(v, x)
+                observe = reaction + lag(v, x)
+                candidate = max(when, publish[v] + observe) + action + observe
                 best = dist.get(v)
                 if best is None or candidate < best:
                     dist[v] = candidate
@@ -209,10 +221,17 @@ def predict(scenario: Scenario) -> tuple[Prediction, tuple[Diagnostic, ...]]:
         for v, when in dist.items():
             know[(v, i)] = when
 
+    # Completion: per arc (u, v), the claim fires one action after the
+    # last unlock lands, and each unlock is gated by v's observation of
+    # that arc's contract (published by u) exactly as above.
     indices = range(len(leaders))
     completion = max(
-        max(know[(v, i)] for i in indices) + 2 * action
-        for (_, v) in digraph.arcs
+        max(
+            max(know[(v, i)] for i in indices),
+            publish[u] + reaction + lag(u, v),
+        )
+        + 2 * action
+        for (u, v) in digraph.arcs
     )
     diam = scenario.diam_override or diameter(
         digraph, exact_limit=scenario.exact_limit

@@ -37,16 +37,24 @@ class DeterminismRule(LintRule):
 
     * no *unseeded* randomness (module-level ``random.*`` calls or
       functions imported from ``random``) anywhere under ``repro.api``,
-      ``repro.digraph``, or ``repro.lab.store`` — seeded
-      ``random.Random(seed)`` instances are the sanctioned source;
+      ``repro.digraph``, ``repro.lab.store``, or ``repro.sim.trace`` —
+      seeded ``random.Random(seed)`` instances are the sanctioned
+      source;
     * no wall-clock reads in the hash-affecting modules
-      (``repro.api.scenario``, ``repro.digraph``) — the store and sweep
-      layers may stamp ``recorded_at``/``wall_seconds`` observability
-      metadata, which never enters a key;
+      (``repro.api.scenario``, ``repro.digraph``, ``repro.sim.trace`` —
+      trace timestamps are model ticks, never wall time) — the store
+      and sweep layers may stamp ``recorded_at``/``wall_seconds``
+      observability metadata, which never enters a key;
     * no iteration-order dependence on set displays/comprehensions/
       constructors (``for x in {...}``, ``list(set(...))``,
       ``",".join({...})``) in the hash-affecting modules plus the store
-      — wrap in ``sorted(...)`` instead.
+      and the trace buffer — wrap in ``sorted(...)`` instead.
+
+    ``repro.sim.trace`` is in every scope because the columnar trace
+    buffer is the transcript of record: its rows become the milestone
+    counts stored beside each run entry and the event census the
+    ``analytic`` engine must reproduce byte-for-byte, so any
+    nondeterminism here silently breaks analytic/simulated parity.
     """
 
     name = "determinism"
@@ -55,12 +63,22 @@ class DeterminismRule(LintRule):
         "dependence in run-key-affecting modules"
     )
 
-    RANDOM_SCOPE: tuple[str, ...] = ("repro.api", "repro.digraph", "repro.lab.store")
-    WALL_CLOCK_SCOPE: tuple[str, ...] = ("repro.api.scenario", "repro.digraph")
+    RANDOM_SCOPE: tuple[str, ...] = (
+        "repro.api",
+        "repro.digraph",
+        "repro.lab.store",
+        "repro.sim.trace",
+    )
+    WALL_CLOCK_SCOPE: tuple[str, ...] = (
+        "repro.api.scenario",
+        "repro.digraph",
+        "repro.sim.trace",
+    )
     SET_ITER_SCOPE: tuple[str, ...] = (
         "repro.api.scenario",
         "repro.digraph",
         "repro.lab.store",
+        "repro.sim.trace",
     )
 
     #: ``random``-module attributes that are fine: seeded generator

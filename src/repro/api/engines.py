@@ -283,3 +283,12 @@ ENGINES: tuple[Engine, ...] = tuple(
         TwoPhaseCommitEngine(),
     )
 )
+
+# The seventh engine — the closed-form fast path over the `herlihy`
+# model — lives in repro.analysis.engine (it is built from the static
+# verifier, not from a harness assembly) and registers itself when its
+# module executes.  Importing it last keeps the graph acyclic: that
+# module imports repro.api.engine/execution/report, all loaded by now.
+import repro.analysis.engine as _analytic  # noqa: E402  (deliberate tail import)
+
+ENGINES = ENGINES + (_analytic.ANALYTIC,)

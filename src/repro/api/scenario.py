@@ -363,6 +363,24 @@ class Scenario:
         topology["arcs"] = sorted(topology["arcs"])
         return data
 
+    def canonical_text(self) -> str:
+        """The canonical JSON encoding of :meth:`canonical_dict`, cached.
+
+        Scenarios are frozen, so the canonical content never changes
+        after construction — but re-canonicalizing it is measurable at
+        sweep scale (every :func:`repro.api.sweep.run_key`, store
+        lookup, sweep dedup pass, and serve warm-cache probe needs it).
+        The encoding is computed on first use and the *identical string
+        object* is returned ever after; :func:`repro.api.sweep.run_key`,
+        :meth:`content_hash`, and the serve admission path all build on
+        this one cache.
+        """
+        cached: str | None = getattr(self, "_canonical_text", None)
+        if cached is None:
+            cached = canonical_json(self.canonical_dict())
+            object.__setattr__(self, "_canonical_text", cached)
+        return cached
+
     def content_hash(self) -> str:
         """A stable SHA-256 hex digest of :meth:`canonical_dict`.
 
@@ -370,7 +388,7 @@ class Scenario:
         of construction order or display name; the basis of the
         :mod:`repro.lab.store` content addressing.
         """
-        return sha256(canonical_json(self.canonical_dict()).encode()).hex()
+        return sha256(self.canonical_text().encode()).hex()
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":

@@ -27,6 +27,7 @@ up where it left off and a warm re-run executes zero engines.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -36,7 +37,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.api.engine import get_engine
 from repro.api.report import RunReport
-from repro.api.scenario import Scenario, canonical_json
+from repro.api.scenario import Scenario
 from repro.crypto.hashing import sha256
 from repro.digraph.digraph import Digraph
 from repro.digraph.multigraph import MultiDigraph
@@ -66,13 +67,22 @@ def run_key(engine: str, scenario: Scenario) -> str:
     excluded, topology order normalised).  Two sweeps that describe the
     same physical run derive the same key, which is what lets
     :mod:`repro.lab.store` serve warm results instead of re-executing.
+
+    The scenario's canonical JSON comes from the cached
+    :meth:`Scenario.canonical_text` — computed once per scenario object
+    no matter how many engines, stores, or dedup passes key on it — and
+    the payload is composed textually.  The composition reproduces
+    ``canonical_json({"schema": ..., "engine": ..., "scenario": ...})``
+    byte for byte (keys emitted in sorted order), so keys are identical
+    to every previously stored run.
     """
-    payload = {
-        "schema": RUN_KEY_SCHEMA,
-        "engine": engine,
-        "scenario": scenario.canonical_dict(),
-    }
-    return sha256(canonical_json(payload).encode()).hex()
+    engine_json = json.dumps(engine, ensure_ascii=True)
+    payload = (
+        f'{{"engine":{engine_json},'
+        f'"scenario":{scenario.canonical_text()},'
+        f'"schema":{RUN_KEY_SCHEMA}}}'
+    )
+    return sha256(payload.encode()).hex()
 
 
 class Sweep:
@@ -254,14 +264,19 @@ class SweepReport:
     reports: list[RunReport]
     wall_seconds: float
     mode: str
-    """``process-pool``, ``serial``, ``serial-fallback``, or ``cached``
-    (every scenario was served from the store)."""
+    """``process-pool``, ``serial``, ``serial-fallback``, ``cached``
+    (every scenario was served from the store), or ``analytic`` (every
+    fresh scenario was answered by the closed-form fast path)."""
     workers: int = 1
     failures: list[FailedRun] = field(default_factory=list)
     executed: int = 0
     """Scenarios that actually ran an engine this invocation."""
     cached: int = 0
     """Scenarios served from the run store without executing."""
+    analytic: int = 0
+    """Scenarios answered by the closed-form fast path (``fast_path=``):
+    a report synthesized inline from the static analysis, no engine
+    executed and no worker slot occupied."""
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -318,6 +333,8 @@ class SweepReport:
 
     def summary(self) -> str:
         cache_note = f", {self.cached} cached" if self.cached else ""
+        if self.analytic:
+            cache_note += f", {self.analytic} analytic"
         lines = [
             f"sweep: {len(self.reports)} runs in {self.wall_seconds * 1000:.0f}ms "
             f"({self.mode}, {self.workers} worker(s){cache_note})"
@@ -343,6 +360,7 @@ class SweepReport:
             "wall_seconds": self.wall_seconds,
             "executed": self.executed,
             "cached": self.cached,
+            "analytic": self.analytic,
             "reports": [r.to_dict() for r in self.reports],
             "failures": [
                 {
@@ -363,6 +381,7 @@ def run_sweep(
     chunksize: int | None = None,
     store: Any | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    fast_path: bool = False,
 ) -> SweepReport:
     """Execute every scenario in ``sweep`` and aggregate the reports.
 
@@ -386,6 +405,16 @@ def run_sweep(
     (with that chunk's aggregated milestone counts) the moment the chunk
     lands — including out-of-order chunks — plus one leading tick for
     any cache-served prefix.
+
+    ``fast_path=True`` partitions the store-miss residue by analyzer
+    eligibility *before* chunking: scenarios the static verifier covers
+    with ``coverage="full"`` (see :mod:`repro.analysis.engine`) get
+    their reports synthesized inline — closed form, no engine, no
+    worker slot — and only the remainder ships to the pool.  Every
+    report produced under ``fast_path`` carries its provenance in
+    ``extra["path"]`` (``"analytic"`` or ``"simulated"``); run keys are
+    unaffected (the path stamp is not part of the key preimage), so
+    fast-path and plain sweeps share one warm store.
     """
     items = sweep.items() if isinstance(sweep, Sweep) else tuple(sweep)
     if not items:
@@ -399,7 +428,6 @@ def run_sweep(
             keys[index] = run_key(engine_name, scenario)
             entries[index] = store.get(keys[index])
     pending = [i for i in range(len(items)) if entries[i] is None]
-    payloads = [(items[i][0], items[i][1].to_dict()) for i in pending]
     cached_total = len(items) - len(pending)
     completed = cached_total  # running counter; keeps ticks O(fresh)
 
@@ -425,6 +453,12 @@ def run_sweep(
 
     def record(index: int, entry: dict) -> None:
         nonlocal completed
+        if fast_path and entry.get("ok"):
+            # Provenance stamp: entries synthesized inline already carry
+            # "analytic"; everything an engine produced is "simulated".
+            entry["report"].setdefault("extra", {}).setdefault(
+                "path", "simulated"
+            )
         entries[index] = entry
         completed += 1
         if store is not None:
@@ -437,6 +471,46 @@ def run_sweep(
         flush = getattr(store, "flush", None)
         if flush is not None:
             flush()
+
+    analytic_total = 0
+    if fast_path and pending:
+        # Partition the residue by analyzer eligibility before chunking:
+        # fully-covered scenarios are answered in closed form right here
+        # (cheaper than shipping them to a worker), the rest simulate.
+        from repro.analysis.engine import (
+            PATH_ANALYTIC,
+            PATH_KEY,
+            analyze_for_fast_path,
+            fast_path_eligible,
+            synthesize_report,
+        )
+
+        residue: list[int] = []
+        synthesized: list[int] = []
+        for index in pending:
+            engine_name, scenario = items[index]
+            analysis = analyze_for_fast_path(scenario, engine_name)
+            if analysis is None or not fast_path_eligible(analysis):
+                residue.append(index)
+                continue
+            item_start = time.perf_counter()
+            assert analysis.prediction is not None
+            report = synthesize_report(scenario, analysis.prediction)
+            report.wall_seconds = time.perf_counter() - item_start
+            report.extra[PATH_KEY] = PATH_ANALYTIC
+            record(index, {
+                "ok": True,
+                "report": report.to_dict(),
+                "milestones": report.milestone_counts(),
+            })
+            synthesized.append(index)
+        if synthesized:
+            flush_store()
+            notify(synthesized)
+        analytic_total = len(synthesized)
+        pending = residue
+
+    payloads = [(items[i][0], items[i][1].to_dict()) for i in pending]
 
     mode = "cached"
     workers = 0
@@ -489,9 +563,12 @@ def run_sweep(
                 flush_store()
                 notify((index,))
 
+    if not payloads and analytic_total:
+        mode = "analytic"
+
     return _assemble(
         entries, start, mode, workers,
-        executed=len(pending), cached=len(items) - len(pending),
+        executed=len(pending), cached=cached_total, analytic=analytic_total,
     )
 
 
@@ -502,6 +579,7 @@ def _assemble(
     workers: int,
     executed: int = 0,
     cached: int = 0,
+    analytic: int = 0,
 ) -> SweepReport:
     reports: list[RunReport] = []
     failures: list[FailedRun] = []
@@ -525,4 +603,5 @@ def _assemble(
         failures=failures,
         executed=executed,
         cached=cached,
+        analytic=analytic,
     )

@@ -61,9 +61,24 @@ class Record:
     payload: dict
 
     def encoded(self) -> bytes:
-        return canonical_encode(
-            {"kind": self.kind, "author": self.author, "payload": self.payload}
-        )
+        """The record's canonical encoding, computed once and cached.
+
+        A record is logically immutable from construction (the dataclass
+        is frozen and the ledger never rewrites payloads), but every
+        record used to be re-encoded three times on its way into a block
+        — hash, block sizing, ledger accounting — which dominated the
+        simulated hot path.  The cache rides on the frozen instance via
+        ``object.__setattr__``; forging is still detected because a
+        forged record is a *fresh* instance whose encoding is computed
+        from its own (tampered) payload.
+        """
+        cached: bytes | None = getattr(self, "_encoded", None)
+        if cached is None:
+            cached = canonical_encode(
+                {"kind": self.kind, "author": self.author, "payload": self.payload}
+            )
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
     def encoded_size_bytes(self) -> int:
         return len(self.encoded())

@@ -50,7 +50,12 @@ DIMENSIONS = ("engine", "family", "mix", "params", "timing")
 #: (:mod:`repro.analysis.protocol`), recomputed from the stored scenario
 #: — grouping observed ``all-Deal`` rates by it makes
 #: prediction-vs-observed divergence visible straight from the CLI.
-GROUPABLE_DIMENSIONS = (*DIMENSIONS, "verdict")
+#: ``path`` is the execution-path provenance stamp fast-path sweeps
+#: record in ``report.extra["path"]`` (:mod:`repro.analysis.engine`) —
+#: ``analytic`` for closed-form reports, ``simulated`` for engine runs
+#: (also the default for entries recorded before the stamp existed, all
+#: of which did run the simulator).
+GROUPABLE_DIMENSIONS = (*DIMENSIONS, "verdict", "path")
 
 _ACCEPTABLE_VALUES = frozenset(o.value for o in ACCEPTABLE_OUTCOMES)
 _DEAL = Outcome.DEAL.value
@@ -140,6 +145,11 @@ class RunFacts:
     milestones: dict[str, int] | None = None
     """Milestone counts recorded beside the report (1.5+ stores); ``None``
     for failure records and entries recorded before the session API."""
+    path: str = "-"
+    """Execution-path provenance: ``report.extra["path"]`` when stamped
+    (fast-path sweeps), ``"simulated"`` for unstamped success records
+    (every pre-fast-path entry ran the simulator), ``"-"`` for failures
+    (no report was produced on either path)."""
     scenario_dict: dict | None = None
     """The serialized scenario, kept for derived dimensions that need to
     reconstruct it (``verdict``); ``None`` only for hand-built facts."""
@@ -203,6 +213,7 @@ def entry_facts(key: str, entry: dict) -> RunFacts:
             stored_bytes=report.get("stored_bytes"),
             wall_seconds=report.get("wall_seconds"),
             milestones=entry.get("milestones"),
+            path=(report.get("extra") or {}).get("path", "simulated"),
             scenario_dict=scenario,
             **parse_lab_name(name),
         )

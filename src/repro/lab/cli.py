@@ -4,18 +4,23 @@ Subcommands::
 
     lab run       expand a workload (preset or --family) and execute it
                   through the content-addressed store; warm re-runs
-                  execute zero engines
+                  execute zero engines; --fast-path answers fully-
+                  covered scenarios from the closed-form analytic
+                  engine without simulating
     lab check     statically verify workloads without executing them:
                   structural diagnostics + closed-form predictions
-                  (repro.analysis.protocol); --verify runs the engines
-                  and byte-compares predictions against the reports
+                  (repro.analysis.protocol); --verify cross-checks
+                  predictions against reports — reusing stored reports
+                  when the store already holds them, executing only the
+                  residue (--fast-path synthesizes full-coverage
+                  residue closed-form)
     lab bisect    binary-search a timing knob (stragglers `violation`)
                   per topology family to the all-Deal boundary
     lab ls        list stored runs (key, engine, scenario, verdict)
     lab show      print one stored run by key prefix (--json for raw)
     lab diff      field-by-field comparison of two stored runs
     lab stats     cross-sweep aggregates (rates, percentiles, failure
-                  taxonomy) grouped by engine/family/mix/timing
+                  taxonomy) grouped by engine/family/mix/timing/path
     lab merge     absorb shard stores into one (newest record wins)
     lab families  the registered topology families and their params
     lab mixes     the registered adversary mixes
@@ -36,8 +41,11 @@ Examples::
     python -m repro lab ls
     python -m repro lab show 3f2a
     python -m repro lab diff 3f2a 9c41
+    python -m repro lab run --preset smoke --fast-path
+    python -m repro lab check --verify --fast-path
     python -m repro lab stats --by engine,mix
     python -m repro lab stats --by timing
+    python -m repro lab stats --by path          # analytic vs simulated
     python -m repro lab stats --by verdict         # predicted vs observed
     python -m repro lab stats --compare herlihy naive-timelock --json
     python -m repro lab merge all.sqlite shard1.jsonl shard2.sqlite
@@ -57,7 +65,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.api.report import RunReport
-from repro.api.sweep import run_sweep
+from repro.api.sweep import run_key, run_sweep
 from repro.errors import LabError, ReproError
 from repro.lab.analytics import (
     aggregate,
@@ -189,7 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.no_store:
         report = run_sweep(
             sweep, parallel=not args.serial, max_workers=args.workers,
-            progress=progress,
+            progress=progress, fast_path=args.fast_path,
         )
         print(report.summary())
         print(f"store: disabled (--no-store) — executed {report.executed}")
@@ -201,12 +209,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             store=store,
             progress=progress,
+            fast_path=args.fast_path,
         )
         total = len(store)
     print(report.summary())
     print(
         f"store: {args.store} — executed {report.executed}, "
-        f"cached {report.cached}, {total} run(s) stored"
+        f"cached {report.cached}, analytic {report.analytic}, "
+        f"{total} run(s) stored"
     )
     return 0
 
@@ -247,15 +257,30 @@ def _check_workloads(args: argparse.Namespace) -> list[Workload]:
     ]
 
 
-def _verify_prediction(engine: str, scenario, analysis) -> tuple[str, list[str]]:
+def _verify_prediction(
+    engine: str,
+    scenario,
+    analysis,
+    stored: dict | None = None,
+    fast_path: bool = False,
+) -> tuple[str, list[str], str]:
     """Execute ``scenario`` and compare the report to the static analysis.
 
-    Returns ``(status, mismatches)`` with status ``"ok"``, ``"skip"``
-    (coverage none on a valid scenario — nothing checkable), or
-    ``"FAIL"``.  Full-coverage predictions must byte-match the report;
-    verdict-only coverage checks the end state; invalid scenarios must
-    be refused by the engine (the analyzer and the engines agree on
-    what is runnable).
+    Returns ``(status, mismatches, source)`` with status ``"ok"``,
+    ``"skip"`` (coverage none on a valid scenario — nothing checkable),
+    or ``"FAIL"``.  Full-coverage predictions must byte-match the
+    report; verdict-only coverage checks the end state; invalid
+    scenarios must be refused by the engine (the analyzer and the
+    engines agree on what is runnable).
+
+    ``stored`` is this run's already-recorded store entry, when one
+    exists under the same run key: a successful entry's report is
+    cross-checked as-is instead of re-executing the engine, and a
+    failure entry *is* the refusal an invalid scenario demands.
+    ``fast_path`` lets full-coverage residue come from the closed-form
+    synthesizer instead of the simulator.  ``source`` says which route
+    produced the evidence: ``stored``, ``analytic``, ``executed``, or
+    ``-`` (nothing ran).
     """
     from repro.analysis.protocol import (
         COVERAGE_FULL,
@@ -265,42 +290,82 @@ def _verify_prediction(engine: str, scenario, analysis) -> tuple[str, list[str]]
     from repro.api.engine import get_engine
 
     if analysis.verdict == VERDICT_INVALID:
+        if stored is not None and not stored.get("ok"):
+            return "ok", [], "stored"
         try:
             get_engine(engine).run(scenario)
         except ReproError:
-            return "ok", []
-        return "FAIL", ["engine ran a scenario the analyzer called invalid"]
-    if analysis.coverage == COVERAGE_VERDICT:
+            return "ok", [], "executed"
+        return "FAIL", ["engine ran a scenario the analyzer called invalid"], "executed"
+    if analysis.coverage not in (COVERAGE_VERDICT, COVERAGE_FULL):
+        return "skip", [], "-"
+    if stored is not None and stored.get("ok"):
+        report = RunReport.from_dict(stored["report"])
+        source = "stored"
+    elif fast_path and analysis.coverage == COVERAGE_FULL:
+        from repro.analysis.engine import synthesize_report
+
+        report = synthesize_report(scenario, analysis.prediction)
+        source = "analytic"
+    else:
         report = get_engine(engine).run(scenario)
+        source = "executed"
+    if analysis.coverage == COVERAGE_VERDICT:
         if report.all_deal():
-            return "FAIL", ["predicted not-all-deal but every party ended Deal"]
-        return "ok", []
-    if analysis.coverage != COVERAGE_FULL:
-        return "skip", []
-    report = get_engine(engine).run(scenario)
+            return (
+                "FAIL",
+                ["predicted not-all-deal but every party ended Deal"],
+                source,
+            )
+        return "ok", [], source
     prediction = analysis.prediction
+    checks: list[tuple[str, object, object]] = [
+        ("leaders", prediction.leaders, tuple(report.leaders)),
+        ("completion_time", prediction.completion_time, report.completion_time),
+        ("phase_two_bound", prediction.phase_two_bound, report.phase_two_bound),
+        ("unlock_calls", prediction.unlock_calls, report.unlock_calls),
+        (
+            "contract_storage_bytes",
+            prediction.contract_storage_bytes,
+            report.contract_storage_bytes,
+        ),
+        ("all_deal", True, report.all_deal()),
+    ]
+    # A stored report dict carries no raw milestone stream; its counts
+    # were recorded beside the report (and pre-session entries recorded
+    # neither — nothing to compare for them).
+    observed_milestones = (
+        stored.get("milestones")
+        if source == "stored" and stored is not None
+        else report.milestone_counts()
+    )
+    if observed_milestones is not None:
+        checks.append(
+            ("milestone_counts", prediction.milestone_counts, dict(observed_milestones))
+        )
     mismatches = [
         f"{field}: predicted {predicted!r}, observed {observed!r}"
-        for field, predicted, observed in (
-            ("leaders", prediction.leaders, tuple(report.leaders)),
-            ("completion_time", prediction.completion_time, report.completion_time),
-            ("phase_two_bound", prediction.phase_two_bound, report.phase_two_bound),
-            ("unlock_calls", prediction.unlock_calls, report.unlock_calls),
-            (
-                "milestone_counts",
-                prediction.milestone_counts,
-                report.milestone_counts(),
-            ),
-            (
-                "contract_storage_bytes",
-                prediction.contract_storage_bytes,
-                report.contract_storage_bytes,
-            ),
-            ("all_deal", True, report.all_deal()),
-        )
+        for field, predicted, observed in checks
         if predicted != observed
     ]
-    return ("FAIL", mismatches) if mismatches else ("ok", [])
+    return ("FAIL", mismatches, source) if mismatches else ("ok", [], source)
+
+
+def _check_store(args: argparse.Namespace) -> RunStore | None:
+    """The store ``lab check --verify`` reuses reports from, or ``None``.
+
+    A missing *default* store just means a cold verify (check must work
+    in a fresh tree); an explicitly named store that does not exist is a
+    typo and errors like every read-only subcommand.  ``:memory:`` is
+    always empty, so it degrades to cold too.
+    """
+    if args.store == ":memory:":
+        return None
+    if not Path(args.store).exists():
+        if args.store != DEFAULT_STORE:
+            raise LabError(f"no such store: {args.store}")
+        return None
+    return open_store(args.store)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -316,40 +381,60 @@ def _cmd_check(args: argparse.Namespace) -> int:
     payload: list[dict[str, Any]] = []
     errors = 0
     failed: list[tuple[str, list[str]]] = []
-    for engine, scenario in sweep.items():
-        analysis = analyze_scenario(scenario, engine=engine)
-        if not analysis.ok():
-            errors += 1
-        status, mismatches = ("-", [])
-        if args.verify:
-            status, mismatches = _verify_prediction(engine, scenario, analysis)
-            if status == "FAIL":
-                failed.append((scenario.label(), mismatches))
-        prediction = analysis.prediction
-        if args.json:
-            entry: dict[str, Any] = {
-                "engine": engine,
-                "scenario": scenario.label(),
-                "analysis": analysis.to_dict(),
-            }
+    sources: dict[str, int] = {}
+    store = _check_store(args) if args.verify else None
+    try:
+        for engine, scenario in sweep.items():
+            analysis = analyze_scenario(scenario, engine=engine)
+            if not analysis.ok():
+                errors += 1
+            status, mismatches, source = ("-", [], "-")
             if args.verify:
-                entry["verify"] = {"status": status, "mismatches": mismatches}
-            payload.append(entry)
-            continue
-        rows.append(
-            [
-                scenario.label(),
-                engine,
-                analysis.coverage,
-                analysis.verdict,
-                "-" if prediction is None else prediction.completion_time,
-                "-"
-                if prediction is None
-                else f"{prediction.completion_in_delta():g}Δ",
-                len(analysis.diagnostics),
-                *([status] if args.verify else []),
-            ]
-        )
+                stored = (
+                    store.get(run_key(engine, scenario))
+                    if store is not None
+                    else None
+                )
+                status, mismatches, source = _verify_prediction(
+                    engine, scenario, analysis,
+                    stored=stored, fast_path=args.fast_path,
+                )
+                if source != "-":
+                    sources[source] = sources.get(source, 0) + 1
+                if status == "FAIL":
+                    failed.append((scenario.label(), mismatches))
+            prediction = analysis.prediction
+            if args.json:
+                entry: dict[str, Any] = {
+                    "engine": engine,
+                    "scenario": scenario.label(),
+                    "analysis": analysis.to_dict(),
+                }
+                if args.verify:
+                    entry["verify"] = {
+                        "status": status,
+                        "mismatches": mismatches,
+                        "source": source,
+                    }
+                payload.append(entry)
+                continue
+            rows.append(
+                [
+                    scenario.label(),
+                    engine,
+                    analysis.coverage,
+                    analysis.verdict,
+                    "-" if prediction is None else prediction.completion_time,
+                    "-"
+                    if prediction is None
+                    else f"{prediction.completion_in_delta():g}Δ",
+                    len(analysis.diagnostics),
+                    *([status] if args.verify else []),
+                ]
+            )
+    finally:
+        if store is not None:
+            store.close()
     if args.json:
         print(json.dumps({"checks": payload}, indent=2, sort_keys=True))
     else:
@@ -364,6 +449,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         note = f"{checked} scenario(s) checked, {errors} with errors"
         if args.verify:
             note += f", {len(failed)} prediction failure(s)"
+            detail = ", ".join(
+                f"{count} {source}" for source, count in sorted(sources.items())
+            )
+            if detail:
+                note += f" ({detail})"
         print(note)
         for label, mismatches in failed:
             for mismatch in mismatches:
@@ -546,7 +636,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if not by:
         raise LabError(
             "--by needs at least one of engine, family, mix, params, "
-            "timing, verdict"
+            "timing, verdict, path"
         )
     if args.compare and args.engine:
         # Filtering would silently zero one side of the head-to-head.
@@ -715,6 +805,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-chunk completion (with milestone counts) as "
              "results land",
     )
+    run.add_argument(
+        "--fast-path", action="store_true",
+        help="answer fully-covered scenarios from the closed-form "
+             "analytic engine (byte-identical reports, no simulation); "
+             "the residue still runs through the workers",
+    )
     run.add_argument("--serial", action="store_true", help="skip the process pool")
     run.add_argument("--workers", type=int, default=None)
     run.add_argument(
@@ -759,10 +855,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(exit 1 on any mismatch)",
     )
     check.add_argument(
+        "--fast-path", action="store_true",
+        help="with --verify: satisfy full-coverage scenarios from the "
+             "closed-form synthesizer instead of the simulator",
+    )
+    check.add_argument(
         "--strict", action="store_true",
         help="exit 1 when any scenario has error-severity diagnostics",
     )
     check.add_argument("--json", action="store_true", help="machine-readable")
+    _add_store_arg(check)
     check.set_defaults(func=_cmd_check)
 
     bisect = sub.add_parser(
@@ -823,7 +925,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--by", default="engine", metavar="DIM[,DIM...]",
         help="group-by dimensions: engine, family, mix, params, timing, "
-             "verdict (comma-separated; default engine)",
+             "verdict, path (comma-separated; default engine)",
     )
     stats.add_argument(
         "--engine", action="append",

@@ -17,7 +17,11 @@ which is what both the long-poll and WebSocket transports in
 The content-addressed run store doubles as the warm cache: submissions
 are keyed by :func:`repro.api.sweep.run_key`, a seen scenario returns
 the stored entry instantly (zero engines executed), and duplicate
-in-flight submissions coalesce onto the single live execution.  Settled
+in-flight submissions coalesce onto the single live execution.  With
+``ServiceConfig.fast_path`` on, a *fully-covered* scenario
+(:mod:`repro.analysis.engine`) is settled from the closed-form
+synthesizer on the submit path itself — a third tier between the warm
+hit and the cold run that never occupies an execution slot.  Settled
 and failed runs are recorded in exactly the ``run_sweep`` entry format,
 so a store warmed by the daemon warms ``lab`` sweeps and vice versa.
 Aborted runs are *never* recorded — a partial report must not poison
@@ -72,6 +76,13 @@ class ServiceConfig:
     default_engine: str = "herlihy"
     latency_window: int = 4096
     """Settled-latency samples kept for the p50/p99 metrics."""
+    fast_path: bool = False
+    """Answer fully-covered submissions from the closed-form analytic
+    synthesizer (:mod:`repro.analysis.engine`) without occupying an
+    execution slot — a third tier between the warm-cache hit and the
+    cold run.  The synthesized report is byte-identical to what the
+    simulator would produce and is stored under the same run key, so
+    the cache stays coherent across both paths."""
 
 
 class TokenBucket:
@@ -152,8 +163,10 @@ class SubmitResult:
 
     ``status`` is ``"cached"`` (served instantly from the store, zero
     engines executed), ``"coalesced"`` (an identical submission is
-    already queued or running — the caller shares its job), or
-    ``"accepted"`` (freshly admitted).
+    already queued or running — the caller shares its job),
+    ``"analytic"`` (fully covered: settled from the closed-form
+    synthesizer without an execution slot), or ``"accepted"`` (freshly
+    admitted).
     """
 
     status: str
@@ -185,6 +198,7 @@ class SwapService:
             "accepted": 0,
             "coalesced": 0,
             "cache_hits": 0,
+            "analytic": 0,
             "rejected_queue_full": 0,
             "rejected_rate_limited": 0,
             "executed": 0,
@@ -294,6 +308,21 @@ class SwapService:
             job = self._cached_job(key, engine_name, scenario, client, stored, now)
             return SubmitResult("cached", key, job, self._queue.qsize())
 
+        # Analytic tier: a fully-covered scenario is answered from the
+        # closed-form synthesizer on the submit path itself — no queue
+        # slot, no worker, no engine.  The entry lands in the store, so
+        # every later submission of this key is a plain cache hit.
+        if self.config.fast_path:
+            from repro.analysis.engine import analyze_for_fast_path, fast_path_eligible
+
+            analysis = analyze_for_fast_path(scenario, engine_name)
+            if analysis is not None and fast_path_eligible(analysis):
+                self._counters["analytic"] += 1
+                job = self._analytic_job(
+                    key, engine_name, scenario, client, analysis, now
+                )
+                return SubmitResult("analytic", key, job, self._queue.qsize())
+
         if self._queue.full():
             self._counters["rejected_queue_full"] += 1
             retry = self._retry_after()
@@ -353,6 +382,49 @@ class SwapService:
                     "message": stored.get("message"),
                 },
             )
+        self._remember(job)
+        return job
+
+    def _analytic_job(
+        self,
+        key: str,
+        engine: str,
+        scenario: Scenario,
+        client: str,
+        analysis: Any,
+        now: float,
+    ) -> Job:
+        """Settle a fully-covered submission from the closed-form path.
+
+        The synthesized report is stored in the standard entry format
+        (stamped ``extra["path"] = "analytic"``), so the run key answers
+        as a warm hit everywhere — ``lab`` sweeps included."""
+        from repro.analysis.engine import PATH_ANALYTIC, PATH_KEY, synthesize_report
+
+        begun = time.perf_counter()
+        report = synthesize_report(scenario, analysis.prediction)
+        report.wall_seconds = time.perf_counter() - begun
+        report.extra[PATH_KEY] = PATH_ANALYTIC
+        entry: dict[str, Any] = {"ok": True, "report": report.to_dict()}
+        counts = report.milestone_counts()
+        if counts:
+            entry["milestones"] = counts
+        self.store.put(key, entry)
+        self._flush_store()
+        job = Job(
+            key=key,
+            engine=engine,
+            scenario=scenario,
+            client=client,
+            submitted_at=now,
+        )
+        job.entry = entry
+        self._publish(job, "accepted", {"engine": engine, "analytic": True})
+        job.status = "settled"
+        job.settled_at = now
+        self._publish(
+            job, "settled", {"cached": False, "analytic": True, "report": entry["report"]}
+        )
         self._remember(job)
         return job
 

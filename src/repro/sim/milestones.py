@@ -159,22 +159,23 @@ class MilestoneTracker:
         return [self._emit(start_time, PHASE1_START)]
 
     def poll(self) -> list[Milestone]:
-        """Translate trace entries appended since the last poll."""
-        events = self._trace.events_since(self._cursor)
-        self._cursor += len(events)
+        """Translate trace entries appended since the last poll.
+
+        Reads the trace's columns directly (:meth:`Trace.columns_since`)
+        — the per-step polling loop materialises no event objects.
+        """
+        times, kinds, parties, details = self._trace.columns_since(self._cursor)
+        self._cursor += len(times)
         fresh: list[Milestone] = []
-        for event in events:
-            arc = event.arc()
-            if event.kind == tr.CONTRACT_PUBLISHED and arc is not None:
+        for time, kind, party, detail in zip(times, kinds, parties, details):
+            value = detail.get("arc")
+            arc: Arc | None = (value[0], value[1]) if value is not None else None
+            if kind == tr.CONTRACT_PUBLISHED and arc is not None:
                 self._escrowed.add(arc)
-                fresh.append(
-                    self._emit(event.time, CONTRACT_ESCROWED, event.party, arc)
-                )
-            elif event.kind in _RELEASE_KINDS:
-                fresh.append(
-                    self._emit(event.time, SECRET_RELEASED, event.party, arc)
-                )
-            elif event.kind in _SETTLING_KINDS and arc is not None:
+                fresh.append(self._emit(time, CONTRACT_ESCROWED, party, arc))
+            elif kind in _RELEASE_KINDS:
+                fresh.append(self._emit(time, SECRET_RELEASED, party, arc))
+            elif kind in _SETTLING_KINDS and arc is not None:
                 self._resolved.add(arc)
                 if (
                     not self._phase2_complete
@@ -182,7 +183,7 @@ class MilestoneTracker:
                     and self._escrowed <= self._resolved
                 ):
                     self._phase2_complete = True
-                    fresh.append(self._emit(event.time, PHASE2_COMPLETE))
+                    fresh.append(self._emit(time, PHASE2_COMPLETE))
         return fresh
 
     def finish(self, now: int) -> list[Milestone]:

@@ -108,14 +108,35 @@ class Scheduler:
             raise SchedulerError("scheduler is not re-entrant")
         self._running = True
         fired = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        clock = self.clock
+        max_events = self._max_events
         try:
-            while self._queue:
-                if horizon is not None and self._queue[0].time > horizon:
+            while queue:
+                tick = queue[0].time
+                if horizon is not None and tick > horizon:
                     break
-                self._fire_next()
-                fired += 1
-            if horizon is not None and self.clock.now < horizon and not self._queue:
-                self.clock.advance_to(horizon)
+                # Batched same-tick dispatch: advance the clock once,
+                # then drain every event at this tick without re-checking
+                # the horizon (same tick, already admitted).  An event
+                # fired here may schedule more work at this very tick —
+                # it gets a larger seq, heaps after the current entries,
+                # and is drained by this same inner loop, so the firing
+                # order is byte-identical to the one-pop-per-iteration
+                # loop (and to a step()-driven session).
+                clock.advance_to(tick)
+                while queue and queue[0].time == tick:
+                    self._fired += 1
+                    if self._fired > max_events:
+                        raise SchedulerError(
+                            f"event budget exceeded ({max_events}); "
+                            "likely a livelock in a party strategy"
+                        )
+                    heappop(queue).fire()
+                    fired += 1
+            if horizon is not None and clock.now < horizon and not queue:
+                clock.advance_to(horizon)
         finally:
             self._running = False
         return fired

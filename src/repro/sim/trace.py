@@ -1,27 +1,41 @@
 """Execution traces and metrics.
 
-Every simulation collects a :class:`Trace`: a time-ordered list of
-:class:`TraceEvent` entries covering contract publications, hashlock
-unlocks, claims, refunds, crashes, and protocol-phase transitions.  The
-benchmark harness derives all of its reported series from traces:
+Every simulation collects a :class:`Trace`: a time-ordered event log
+covering contract publications, hashlock unlocks, claims, refunds,
+crashes, and protocol-phase transitions.  The benchmark harness derives
+all of its reported series from traces:
 
 * the Figure 1/2 timeline (publication and trigger times per arc);
 * Theorem 4.7's completion time, compared with ``2·diam(D)·Δ``;
 * Theorem 4.10's stored bytes and the ``O(|A|·|L|)`` published bytes;
 * per-party outcome classification inputs (which arcs were triggered).
+
+Storage is *columnar*: the log is four parallel arrays (times, kinds,
+parties, details) rather than a list of event objects.  Recording — the
+simulator's hottest append path, hit once per trace-worthy occurrence —
+is four plain ``list.append`` calls with no object construction; the
+:class:`TraceEvent` view objects are materialised lazily, only for
+consumers that ask for them (:meth:`Trace.events`, iteration).  Bulk
+consumers — the milestone tracker's per-step poll, the per-arc timing
+queries — read the columns directly and never build an event object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.digraph.digraph import Arc
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One timestamped occurrence inside a simulation."""
+    """One timestamped occurrence inside a simulation.
+
+    A *view* over one row of the columnar :class:`Trace` — built on
+    demand, not stored; two reads of the same row yield equal (but not
+    identical) events.
+    """
 
     time: int
     kind: str
@@ -37,69 +51,117 @@ class TraceEvent:
         return (head, tail)
 
 
+def _arc_of(details: dict[str, Any]) -> Arc | None:
+    """The arc in one details column entry, if any (no event object)."""
+    value = details.get("arc")
+    if value is None:
+        return None
+    head, tail = value
+    return (head, tail)
+
+
 class Trace:
-    """An append-only, time-ordered event log for one simulation run."""
+    """An append-only, time-ordered event log for one simulation run.
+
+    Rows live in four parallel arrays; :meth:`record` appends one row.
+    The arrays are internal — consumers go through the query methods
+    (columnar, no materialisation) or :meth:`events`/iteration (lazy
+    :class:`TraceEvent` views).
+    """
+
+    __slots__ = ("_times", "_kinds", "_parties", "_details")
 
     def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
+        self._times: list[int] = []
+        self._kinds: list[str] = []
+        self._parties: list[str] = []
+        self._details: list[dict[str, Any]] = []
 
-    def record(self, time: int, kind: str, party: str, **details: Any) -> TraceEvent:
-        event = TraceEvent(time=time, kind=kind, party=party, details=details)
-        self._events.append(event)
-        return event
+    def record(self, time: int, kind: str, party: str, **details: Any) -> None:
+        """Append one row.  Returns nothing — the hot path constructs no
+        event object; use :meth:`events` for materialised views."""
+        self._times.append(time)
+        self._kinds.append(kind)
+        self._parties.append(party)
+        self._details.append(details)
+
+    def _row(self, i: int) -> TraceEvent:
+        return TraceEvent(
+            time=self._times[i],
+            kind=self._kinds[i],
+            party=self._parties[i],
+            details=self._details[i],
+        )
 
     # -- queries -----------------------------------------------------------------
 
     def events(self, kind: str | None = None) -> list[TraceEvent]:
         if kind is None:
-            return list(self._events)
-        return [e for e in self._events if e.kind == kind]
+            return [self._row(i) for i in range(len(self._times))]
+        return [self._row(i) for i, k in enumerate(self._kinds) if k == kind]
 
     def events_since(self, index: int) -> list[TraceEvent]:
         """Events appended at or after position ``index``.
 
-        A tail slice (cost proportional to the *new* events), so
-        incremental consumers — the milestone tracker polls after every
-        scheduler event — stay linear overall instead of re-copying the
-        whole log each time.
+        Cost proportional to the *new* events, so incremental consumers
+        stay linear overall; prefer :meth:`columns_since` where the
+        event objects themselves are not needed.
         """
-        return self._events[index:]
+        return [self._row(i) for i in range(index, len(self._times))]
+
+    def columns_since(
+        self, index: int
+    ) -> tuple[Sequence[int], Sequence[str], Sequence[str], Sequence[dict[str, Any]]]:
+        """The ``(times, kinds, parties, details)`` columns from position
+        ``index`` on — the zero-materialisation tail read the milestone
+        tracker polls after every scheduler event."""
+        return (
+            self._times[index:],
+            self._kinds[index:],
+            self._parties[index:],
+            self._details[index:],
+        )
 
     def first(self, kind: str, **match: Any) -> TraceEvent | None:
-        for event in self._events:
-            if event.kind != kind:
+        for i, k in enumerate(self._kinds):
+            if k != kind:
                 continue
-            if all(event.details.get(k) == v for k, v in match.items()):
-                return event
+            details = self._details[i]
+            if all(details.get(key) == value for key, value in match.items()):
+                return self._row(i)
         return None
 
     def last_time(self, kind: str | None = None) -> int | None:
-        events = self.events(kind)
-        if not events:
+        if kind is None:
+            times = self._times
+        else:
+            times = [t for t, k in zip(self._times, self._kinds) if k == kind]
+        if not times:
             return None
-        return max(e.time for e in events)
+        return max(times)
 
     def times_by_arc(self, kind: str) -> dict[Arc, int]:
         """Earliest time each arc saw an event of ``kind``."""
         out: dict[Arc, int] = {}
-        for event in self._events:
-            if event.kind != kind:
+        for i, k in enumerate(self._kinds):
+            if k != kind:
                 continue
-            arc = event.arc()
+            arc = _arc_of(self._details[i])
             if arc is None:
                 continue
-            if arc not in out or event.time < out[arc]:
-                out[arc] = event.time
+            time = self._times[i]
+            if arc not in out or time < out[arc]:
+                out[arc] = time
         return out
 
     def count(self, kind: str) -> int:
-        return sum(1 for e in self._events if e.kind == kind)
+        return self._kinds.count(kind)
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._times)
 
-    def __iter__(self):
-        return iter(self._events)
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
 
     # -- rendering -----------------------------------------------------------------
 
@@ -111,7 +173,7 @@ class Trace:
         """
         wanted = set(kinds) if kinds is not None else None
         lines = []
-        for event in self._events:
+        for event in self.events():
             if wanted is not None and event.kind not in wanted:
                 continue
             stamp = f"t={event.time}"

@@ -1,0 +1,27 @@
+"""Seeded-violation fixture: nondeterminism in the columnar trace buffer.
+
+Linted while impersonating a ``repro.sim.trace`` module — the
+transcript of record behind milestone counts and the analytic engine's
+event census.  All four sites below must fire the ``determinism``
+rule: an unseeded draw, a wall-clock read (trace timestamps are model
+ticks), and two set-iteration-order dependences.
+"""
+
+import random
+import time
+
+
+def record_jittered(trace, party):
+    # Unseeded global randomness leaking into recorded event ticks.
+    tick = int(random.random() * 100)
+    # A wall-clock read masquerading as a model timestamp.
+    wall = time.perf_counter()
+    trace.record(tick, "contract-published", party, wall=wall)
+
+
+def parties_seen(trace):
+    # Set iteration feeding the transcript: order depends on hashing.
+    names = list({event.party for event in trace.events()})
+    for name in {"leader", "follower"}:
+        names.append(name)
+    return names

@@ -37,6 +37,7 @@ SEEDED = {
     "unseeded_random.py": ("repro.digraph.fixture", "determinism", 3),
     "wall_clock.py": ("repro.digraph.fixture", "determinism", 2),
     "set_iteration.py": ("repro.lab.store.fixture", "determinism", 4),
+    "trace_nondeterminism.py": ("repro.sim.trace.fixture", "determinism", 4),
     "thread_unsafe_drive.py": (
         "repro.serve.fixture",
         "serve-thread-safety",

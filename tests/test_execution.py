@@ -54,6 +54,7 @@ from repro.sim.timing import AdaptiveStragglerTiming, StragglerTiming
 def _comparable(report) -> dict:
     data = report.to_dict()
     data.pop("wall_seconds")  # measurement, not a result
+    data.get("extra", {}).pop("path", None)  # provenance, not a result
     return data
 
 

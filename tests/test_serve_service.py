@@ -334,6 +334,68 @@ class TestEventStream:
         asyncio.run(run())
 
 
+class TestAnalyticTier:
+    """The third admission tier: closed-form settlement, no worker slot."""
+
+    def test_covered_submission_settles_without_executing(self):
+        async def run():
+            service = await started(no_rate(fast_path=True))
+            result = service.submit(scenario())
+            # Settled synchronously: no await has happened yet.
+            assert result.status == "analytic"
+            assert result.job.status == "settled"
+            assert result.job.entry["ok"]
+            report = result.job.entry["report"]
+            assert report["extra"]["path"] == "analytic"
+            assert service.store.get(result.key)["ok"] is True
+            assert service._counters["analytic"] == 1
+            assert service._counters["executed"] == 0
+            events = [event async for event in service.subscribe(result.key)]
+            assert [e["event"] for e in events] == ["accepted", "settled"]
+            assert events[-1]["data"]["analytic"] is True
+            assert events[-1]["data"]["cached"] is False
+            assert service.status()["analytic"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_uncovered_submission_falls_through_to_the_queue(self):
+        async def run():
+            service = await started(no_rate(fast_path=True))
+            jittered = Scenario(topology=triangle(), seed=7, timing="jittered")
+            result = service.submit(jittered)
+            assert result.status == "accepted"
+            await service.wait(result.key, timeout=30)
+            assert service._counters["analytic"] == 0
+            assert service._counters["executed"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_resubmission_after_analytic_is_a_cache_hit(self):
+        async def run():
+            service = await started(no_rate(fast_path=True))
+            first = service.submit(scenario())
+            assert first.status == "analytic"
+            second = service.submit(scenario())
+            assert second.status == "cached"
+            assert service._counters["cache_hits"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_fast_path_is_opt_in(self):
+        async def run():
+            service = await started()  # default config: no fast path
+            result = service.submit(scenario())
+            assert result.status == "accepted"
+            await service.wait(result.key, timeout=30)
+            assert service._counters["executed"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+
 class TestMetrics:
     def test_status_document(self):
         async def run():
