@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke bench lab-smoke serve serve-bench lint check
+.PHONY: test smoke bench-smoke bench lab-smoke fleet-smoke serve serve-bench lint check
 
 test:            ## full tier-1 suite
 	$(PY) -m pytest -x -q
@@ -26,6 +26,10 @@ bench:           ## the full figure-by-figure benchmark suite
 
 lab-smoke:       ## the lab smoke preset through the run store
 	$(PY) -m repro lab run --preset smoke
+
+fleet-smoke:     ## the smoke preset drained by a 4-worker claim/lease fleet
+	$(PY) -m repro lab run --preset smoke --fleet 4 --store .lab/fleet.sqlite
+	$(PY) -m repro lab fleet status --store .lab/fleet.sqlite
 
 serve:           ## the long-lived swap service daemon
 	$(PY) -m repro serve

@@ -46,6 +46,10 @@ Submodules (see DESIGN.md for the full inventory):
 * :mod:`repro.serve`    — the long-lived swap service: an asyncio daemon
   (``python -m repro serve``) with admission control, streaming milestone
   subscriptions, and the run store as a warm cache.
+* :mod:`repro.fleet`    — the claim/lease work-queue coordinator: N worker
+  processes drain one sweep grid through a shared SQLite store
+  (``lab run --fleet N``, ``lab work``, ``lab fleet status``) with
+  crash-safe lease expiry and atomic chunk commits.
 
 The most common entry points are re-exported at the top level.
 """
@@ -82,7 +86,7 @@ from repro.errors import ReproError, ScenarioError, UnknownEngineError
 from repro.lab import RunStore, Workload, build_sweep, open_store
 from repro.sim.faults import Crash, CrashPoint, FaultPlan
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ACCEPTABLE_OUTCOMES",

@@ -12,6 +12,11 @@
   re-runs execute zero engines), inspect or compare stored runs,
   aggregate cross-sweep statistics, and merge sharded stores.
   ``python -m repro lab --help`` lists the options.
+* ``python -m repro lab run --fleet N`` — drain the sweep with N
+  worker processes through the claim/lease coordinator
+  (:mod:`repro.fleet`); ``lab work`` joins an existing fleet store as
+  one more worker, ``lab fleet status [--json]`` inspects chunk,
+  lease, and worker state.
 * ``python -m repro lab check`` — the static scenario verifier
   (:mod:`repro.analysis.protocol`): structural diagnostics plus
   closed-form predictions, no engine execution; ``--verify``

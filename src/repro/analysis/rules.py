@@ -55,6 +55,13 @@ class DeterminismRule(LintRule):
     counts stored beside each run entry and the event census the
     ``analytic`` engine must reproduce byte-for-byte, so any
     nondeterminism here silently breaks analytic/simulated parity.
+
+    ``repro.fleet`` is in the random and set-iteration scopes — its
+    backoff jitter must come from seeded streams and its chunk/claim
+    ordering from sorted or sequenced iteration — but deliberately
+    *not* the wall-clock scope: lease expiry is inherently wall-time,
+    and like ``recorded_at`` those timestamps are coordination
+    metadata that never enters a run key.
     """
 
     name = "determinism"
@@ -66,6 +73,7 @@ class DeterminismRule(LintRule):
     RANDOM_SCOPE: tuple[str, ...] = (
         "repro.api",
         "repro.digraph",
+        "repro.fleet",
         "repro.lab.store",
         "repro.sim.trace",
     )
@@ -77,6 +85,7 @@ class DeterminismRule(LintRule):
     SET_ITER_SCOPE: tuple[str, ...] = (
         "repro.api.scenario",
         "repro.digraph",
+        "repro.fleet",
         "repro.lab.store",
         "repro.sim.trace",
     )

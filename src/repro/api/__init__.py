@@ -65,10 +65,13 @@ from repro.api.sweep import (
     SweepProgress,
     SweepReport,
     derive_seed,
+    execute_chunk,
+    execute_payload,
     run_item,
     run_key,
     run_sweep,
     smoke_sweep,
+    synthesize_entry,
 )
 from repro.errors import (
     EngineError,
@@ -106,10 +109,13 @@ __all__ = [
     "SweepProgress",
     "SweepReport",
     "derive_seed",
+    "execute_chunk",
+    "execute_payload",
     "run_item",
     "run_key",
     "run_sweep",
     "smoke_sweep",
+    "synthesize_entry",
     "EngineError",
     "ExecutionError",
     "ScenarioError",

@@ -169,19 +169,65 @@ def smoke_sweep() -> Sweep:
 # ---------------------------------------------------------------------------
 
 
-def _run_payload(payload: tuple[str, dict]) -> dict:
-    """Worker entry point: dict in, dict out (must stay module-level so
-    it pickles under both fork and spawn start methods).
+def synthesize_entry(engine_name: str, scenario: Scenario) -> dict | None:
+    """A closed-form store entry for a fully covered scenario, or
+    ``None`` when the analyzer cannot certify it (the caller simulates).
 
-    Domain errors (:class:`ReproError` — e.g. a single-leader engine on
-    a digraph with no single-vertex feedback vertex set) are expected in
-    cartesian sweeps and come back as failure records instead of killing
-    the whole batch; genuine bugs still propagate.
+    This is the fast path :func:`run_sweep` and the fleet worker share:
+    the synthesized report carries the ``extra["path"] = "analytic"``
+    provenance stamp and its milestone counts ride beside the report,
+    exactly as an executed entry's would.
+    """
+    from repro.analysis.engine import (
+        PATH_ANALYTIC,
+        PATH_KEY,
+        analyze_for_fast_path,
+        fast_path_eligible,
+        synthesize_report,
+    )
+
+    analysis = analyze_for_fast_path(scenario, engine_name)
+    if analysis is None or not fast_path_eligible(analysis):
+        return None
+    item_start = time.perf_counter()
+    assert analysis.prediction is not None
+    report = synthesize_report(scenario, analysis.prediction)
+    report.wall_seconds = time.perf_counter() - item_start
+    report.extra[PATH_KEY] = PATH_ANALYTIC
+    return {
+        "ok": True,
+        "report": report.to_dict(),
+        "milestones": report.milestone_counts(),
+    }
+
+
+def execute_payload(payload: tuple[str, dict], fast_path: bool = False) -> dict:
+    """Execute one ``(engine_name, scenario_dict)`` payload into a store
+    entry dict — the single unit of sweep work, reusable by anything
+    that drains scenarios outside :func:`run_sweep` (the
+    :mod:`repro.fleet` worker loop drives exactly this function).
+
+    Must stay module-level so it pickles under both fork and spawn
+    start methods.  Domain errors (:class:`ReproError` — e.g. a
+    single-leader engine on a digraph with no single-vertex feedback
+    vertex set) are expected in cartesian sweeps and come back as
+    failure records instead of killing the whole batch; genuine bugs
+    still propagate.
+
+    With ``fast_path=True``, fully covered scenarios are answered in
+    closed form via :func:`synthesize_entry`; everything an engine
+    actually produced is stamped ``extra["path"] = "simulated"`` so
+    ``lab stats --by path`` partitions fleet-drained runs the same way
+    it partitions ``run_sweep(fast_path=True)`` ones.
     """
     from repro.errors import ReproError
 
     engine_name, scenario_dict = payload
     scenario = Scenario.from_dict(scenario_dict)
+    if fast_path:
+        synthesized = synthesize_entry(engine_name, scenario)
+        if synthesized is not None:
+            return synthesized
     try:
         report = get_engine(engine_name).run(scenario)
     except ReproError as error:
@@ -193,6 +239,8 @@ def _run_payload(payload: tuple[str, dict]) -> dict:
             "message": str(error),
         }
     entry = {"ok": True, "report": report.to_dict()}
+    if fast_path:
+        entry["report"].setdefault("extra", {}).setdefault("path", "simulated")
     counts = report.milestone_counts()
     if counts is not None:
         # Milestones ride *beside* the report, not inside it: the report
@@ -202,15 +250,27 @@ def _run_payload(payload: tuple[str, dict]) -> dict:
     return entry
 
 
-def _run_chunk(payloads: Sequence[tuple[str, dict]]) -> list[dict]:
-    """Worker entry point for one submitted chunk of payloads.
+def _run_payload(payload: tuple[str, dict]) -> dict:
+    return execute_payload(payload)
 
-    Chunks are the unit of persistence: the parent records every entry
-    of a chunk the moment its future completes, so a chunk finished out
-    of sweep order survives an interruption even while earlier chunks
-    are still running.
+
+def execute_chunk(
+    payloads: Sequence[tuple[str, dict]], fast_path: bool = False
+) -> list[dict]:
+    """Execute one chunk of payloads into entry dicts, in order.
+
+    Chunks are the unit of persistence: :func:`run_sweep` records every
+    entry of a chunk the moment its future completes (so a chunk
+    finished out of sweep order survives an interruption even while
+    earlier chunks are still running), and the fleet coordinator
+    commits a chunk's entries atomically with its lease release.
     """
-    return [_run_payload(payload) for payload in payloads]
+    return [execute_payload(payload, fast_path=fast_path) for payload in payloads]
+
+
+def _run_chunk(payloads: Sequence[tuple[str, dict]]) -> list[dict]:
+    """Pickled process-pool entry point for one submitted chunk."""
+    return execute_chunk(payloads)
 
 
 def run_item(item: SweepItem) -> RunReport:
@@ -477,32 +537,15 @@ def run_sweep(
         # Partition the residue by analyzer eligibility before chunking:
         # fully-covered scenarios are answered in closed form right here
         # (cheaper than shipping them to a worker), the rest simulate.
-        from repro.analysis.engine import (
-            PATH_ANALYTIC,
-            PATH_KEY,
-            analyze_for_fast_path,
-            fast_path_eligible,
-            synthesize_report,
-        )
-
         residue: list[int] = []
         synthesized: list[int] = []
         for index in pending:
             engine_name, scenario = items[index]
-            analysis = analyze_for_fast_path(scenario, engine_name)
-            if analysis is None or not fast_path_eligible(analysis):
+            entry = synthesize_entry(engine_name, scenario)
+            if entry is None:
                 residue.append(index)
                 continue
-            item_start = time.perf_counter()
-            assert analysis.prediction is not None
-            report = synthesize_report(scenario, analysis.prediction)
-            report.wall_seconds = time.perf_counter() - item_start
-            report.extra[PATH_KEY] = PATH_ANALYTIC
-            record(index, {
-                "ok": True,
-                "report": report.to_dict(),
-                "milestones": report.milestone_counts(),
-            })
+            record(index, entry)
             synthesized.append(index)
         if synthesized:
             flush_store()

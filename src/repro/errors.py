@@ -187,6 +187,59 @@ class UnknownWorkloadError(LabError):
 
 
 # ---------------------------------------------------------------------------
+# Distributed sweep fleet (repro.fleet)
+# ---------------------------------------------------------------------------
+
+
+class FleetError(LabError):
+    """Base class for failures in the :mod:`repro.fleet` claim/lease
+    work-queue coordination layer."""
+
+
+class UnsafeFleetStoreError(FleetError):
+    """The store backend cannot host fleet coordination.
+
+    Fleet workers are concurrent writers; only the SQLite backend (WAL
+    journal + busy timeout + transactional lease table) is safe against
+    them.  JSONL stores interleave appends from multiple processes into
+    corrupt lines, and ``:memory:`` stores are per-process — each would
+    silently lose or mangle runs, so they are refused up front.
+
+    ``path`` and ``backend`` identify the refused store; ``suggestion``
+    names the safe alternative (machine-usable for callers that want to
+    rewrite the path).
+    """
+
+    def __init__(self, path: str, backend: str) -> None:
+        self.path = path
+        self.backend = backend
+        self.suggestion = "use a SQLite store (*.sqlite)"
+        super().__init__(
+            f"store {path!r} ({backend}) has no concurrent-writer safety "
+            f"— parallel fleet workers would corrupt it; {self.suggestion}"
+        )
+
+
+class LeaseLostError(FleetError):
+    """A worker's lease on a chunk expired and the chunk was (or may
+    have been) re-issued to another claimant.
+
+    The only safe response is to discard the chunk's results without
+    committing: the re-claimant will produce identical entries (runs are
+    content-addressed and deterministic), and the atomic commit protocol
+    guarantees the store never records the same chunk twice.
+    """
+
+    def __init__(self, chunk_id: str, worker_id: str, action: str) -> None:
+        self.chunk_id = chunk_id
+        self.worker_id = worker_id
+        super().__init__(
+            f"worker {worker_id!r} lost its lease on chunk "
+            f"{chunk_id[:12]} before {action}; results must be discarded"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Static analysis (repro.analysis.protocol / repro.analysis.lint)
 # ---------------------------------------------------------------------------
 

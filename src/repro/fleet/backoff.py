@@ -1,0 +1,79 @@
+"""Seeded exponential backoff with jitter for claim contention.
+
+When every pending chunk is live-leased by someone else, a worker's
+``claim`` returns ``None`` and it must wait before retrying.  Waiting a
+*fixed* interval synchronises the fleet — every worker wakes on the
+same tick and hammers the SQLite writer lock together — so each worker
+draws its delays from its own :class:`random.Random`, seeded from the
+SHA-256 of its worker id.  Two properties follow:
+
+* **Decorrelation** — distinct worker ids yield distinct jitter
+  streams, so retries spread out instead of thundering;
+* **Determinism** — the same worker id always yields the same stream,
+  so contention tests replay exactly (and the lint ``DeterminismRule``
+  random scope, which covers :mod:`repro.fleet`, is satisfied: no
+  unseeded randomness anywhere in the package).
+
+The schedule is truncated binary exponential: attempt *n* draws
+uniformly from ``[bound/2, bound]`` where
+``bound = min(base * factor**n, cap)`` — the half-open floor keeps a
+lucky draw from retrying instantly while the exponent keeps a long
+contention run from polling hot.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.hashing import sha256
+
+__all__ = ["SeededBackoff"]
+
+
+class SeededBackoff:
+    """Deterministic jittered exponential delays for one worker.
+
+    >>> backoff = SeededBackoff.for_worker("worker-1")
+    >>> first = backoff.next_delay()   # ~[0.025, 0.05]
+    >>> second = backoff.next_delay()  # ~[0.05, 0.1]
+    >>> backoff.reset()                # after a successful claim
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 2.0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or cap < base:
+            raise ValueError(
+                f"invalid backoff schedule: base={base} factor={factor} cap={cap}"
+            )
+        self._rng = random.Random(seed)
+        self._base = base
+        self._factor = factor
+        self._cap = cap
+        self._attempt = 0
+
+    @classmethod
+    def for_worker(cls, worker_id: str, **kwargs: float) -> "SeededBackoff":
+        """A backoff stream derived from (and unique to) a worker id."""
+        seed = int.from_bytes(sha256(worker_id.encode("utf-8"))[:8], "big")
+        return cls(seed, **kwargs)
+
+    @property
+    def attempt(self) -> int:
+        """Consecutive failed claims since the last :meth:`reset`."""
+        return self._attempt
+
+    def next_delay(self) -> float:
+        """The next sleep in seconds; each call escalates the bound."""
+        bound = min(self._base * (self._factor**self._attempt), self._cap)
+        self._attempt += 1
+        return self._rng.uniform(bound / 2.0, bound)
+
+    def reset(self) -> None:
+        """Forget the escalation (call after a successful claim); the
+        jitter stream itself keeps advancing, never repeats."""
+        self._attempt = 0

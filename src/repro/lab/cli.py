@@ -6,7 +6,18 @@ Subcommands::
                   through the content-addressed store; warm re-runs
                   execute zero engines; --fast-path answers fully-
                   covered scenarios from the closed-form analytic
-                  engine without simulating
+                  engine without simulating; --fleet N drains the
+                  workload with N local worker processes coordinated
+                  by the claim/lease protocol (repro.fleet) instead of
+                  the in-process pool
+    lab work      run one fleet worker loop against a shared SQLite
+                  store: claim a chunk, execute it (fast path
+                  honoured), heartbeat, commit atomically; exits when
+                  the queue drains.  Refuses JSONL/:memory: stores
+                  (no concurrent-writer safety)
+    lab fleet     inspect fleet coordination state (`fleet status`:
+                  chunk claim/lease table, worker heartbeat ages;
+                  --json for the machine-readable snapshot)
     lab check     statically verify workloads without executing them:
                   structural diagnostics + closed-form predictions
                   (repro.analysis.protocol); --verify cross-checks
@@ -49,6 +60,9 @@ Examples::
     python -m repro lab stats --by verdict         # predicted vs observed
     python -m repro lab stats --compare herlihy naive-timelock --json
     python -m repro lab merge all.sqlite shard1.jsonl shard2.sqlite
+    python -m repro lab run --preset smoke --fleet 4 --store fleet.sqlite
+    python -m repro lab work --store fleet.sqlite --lease-ttl 10
+    python -m repro lab fleet status --store fleet.sqlite --json
 
 The store defaults to ``.lab/runs.sqlite`` under the current directory;
 ``--store`` accepts any ``*.sqlite``/``*.jsonl`` path or ``:memory:``.
@@ -193,6 +207,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ]
     # --seed replaces every workload's seed; unset keeps their defaults.
     sweep = build_sweep(workloads, name=title, base_seed=args.seed)
+    if args.fleet:
+        return _run_fleet_drain(args, sweep)
     progress = _progress_printer() if args.progress else None
     if args.no_store:
         report = run_sweep(
@@ -218,6 +234,136 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"cached {report.cached}, analytic {report.analytic}, "
         f"{total} run(s) stored"
     )
+    return 0
+
+
+def _run_fleet_drain(args: argparse.Namespace, sweep) -> int:
+    """``lab run --fleet N``: drain the sweep with N worker processes.
+
+    The claim/lease coordination lives in the SQLite store itself (see
+    :mod:`repro.fleet`), so the drained store is byte-identical to what
+    a serial ``lab run`` against the same store would hold — ``lab
+    stats``/``lab merge`` work on it unchanged.
+    """
+    from repro.fleet import FleetConfig, run_fleet
+
+    if args.no_store:
+        raise LabError(
+            "--fleet coordinates workers through the store; "
+            "it cannot be combined with --no-store"
+        )
+    config = FleetConfig(
+        lease_ttl=args.lease_ttl,
+        skew_grace=args.skew_grace,
+        chunk_size=args.chunk_size,
+    )
+    fleet_report = run_fleet(
+        sweep,
+        args.store,
+        workers=args.fleet,
+        config=config,
+        fast_path=args.fast_path,
+    )
+    receipt = fleet_report.receipt
+    counts = fleet_report.status.get("counts", {})
+    print(
+        f"fleet: {args.fleet} worker(s) drained {receipt.enqueued} run(s) "
+        f"in {fleet_report.wall_seconds:.2f}s "
+        f"(warm {receipt.warm}, already queued {receipt.queued})"
+    )
+    print(
+        f"store: {args.store} — {counts.get('done', 0)} chunk(s) done, "
+        f"{counts.get('items_done', 0)} item(s) recorded; "
+        f"inspect with `lab stats --store {args.store}`"
+    )
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    """One worker loop: claim → execute → heartbeat → commit, until
+    the shared queue drains.  This is what ``--fleet`` spawns N of."""
+    from repro.fleet import FleetConfig, FleetWorker, ensure_fleet_path
+
+    # ensure_fleet_path refuses JSONL/:memory: *before* the existence
+    # check so the unsafe-backend error names the real problem.
+    resolved = ensure_fleet_path(args.store)
+    if not resolved.exists():
+        raise LabError(
+            f"no such fleet store: {args.store} (the driver — `lab run "
+            "--fleet` — creates and fills it before workers start)"
+        )
+    config = FleetConfig(
+        lease_ttl=args.lease_ttl,
+        skew_grace=args.skew_grace,
+        chunk_size=args.chunk_size,
+    )
+    with FleetWorker(
+        resolved,
+        config=config,
+        worker_id=args.worker_id,
+        fast_path=args.fast_path,
+    ) as worker:
+        stats = worker.run(max_chunks=args.max_chunks)
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"worker {stats.worker_id}: {stats.chunks_committed} chunk(s), "
+        f"{stats.items_committed} item(s) committed in "
+        f"{stats.wall_seconds:.2f}s (claims {stats.claims}, leases lost "
+        f"{stats.leases_lost}, idle waits {stats.idle_waits})"
+    )
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetCoordinator, ensure_fleet_path
+
+    resolved = ensure_fleet_path(args.store)
+    if not resolved.exists():
+        raise LabError(f"no such store: {args.store}")
+    with FleetCoordinator(resolved) as coordinator:
+        status = coordinator.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status["counts"]
+    print(f"store: {status['store']}")
+    print(
+        f"chunks: {counts['pending']} pending, {counts['leased']} leased, "
+        f"{counts['done']} done — items {counts['items_done']}/"
+        f"{counts['items_queued']}"
+    )
+    if status["chunks"]:
+        print(_format_rows(
+            ["chunk", "seq", "size", "state", "owner", "attempts", "lease"],
+            [
+                [
+                    chunk["chunk_id"][:12],
+                    chunk["seq"],
+                    chunk["size"],
+                    chunk["state"],
+                    chunk["owner"] or "-",
+                    chunk["attempts"],
+                    "-" if chunk["lease_expires_in"] is None
+                    else f"{chunk['lease_expires_in']:+.1f}s",
+                ]
+                for chunk in status["chunks"]
+            ],
+        ))
+    if status["workers"]:
+        print(_format_rows(
+            ["worker", "seen", "chunks", "items"],
+            [
+                [
+                    worker["worker_id"],
+                    f"{worker['seen_age']:.1f}s ago",
+                    worker["chunks_done"],
+                    worker["items_done"],
+                ]
+                for worker in status["workers"]
+            ],
+        ))
     return 0
 
 
@@ -774,6 +920,26 @@ def _add_store_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_lease_args(parser: argparse.ArgumentParser) -> None:
+    """The lease-protocol knobs, identical on driver and worker (the
+    driver forwards them verbatim to every worker it spawns)."""
+    parser.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds a claimed chunk stays leased without a heartbeat "
+             "(workers heartbeat per item, so this bounds one scenario, "
+             "not a chunk; default 30)",
+    )
+    parser.add_argument(
+        "--skew-grace", type=float, default=5.0,
+        help="extra seconds past expiry before a lease is treated as "
+             "dead (clock-disagreement allowance; default 5)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=4,
+        help="runs per claimable chunk (default 4)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro lab",
@@ -813,6 +979,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--serial", action="store_true", help="skip the process pool")
     run.add_argument("--workers", type=int, default=None)
+    run.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="drain with N local worker processes coordinated by the "
+             "claim/lease protocol in the SQLite store (requires a "
+             "*.sqlite --store)",
+    )
+    _add_lease_args(run)
     run.add_argument(
         "--no-store", action="store_true",
         help="execute without reading or writing the store",
@@ -940,6 +1113,43 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true", help="machine-readable")
     _add_store_arg(stats)
     stats.set_defaults(func=_cmd_stats)
+
+    work = sub.add_parser(
+        "work",
+        help="run one fleet worker loop (claim → execute → commit) "
+             "against a shared SQLite store",
+    )
+    work.add_argument(
+        "--worker-id", default=None,
+        help="this worker's identity in the lease table "
+             "(default: {hostname}-{pid})",
+    )
+    work.add_argument(
+        "--fast-path", action="store_true",
+        help="answer fully-covered scenarios from the closed-form "
+             "analytic engine (same semantics as `lab run --fast-path`)",
+    )
+    work.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="exit after committing N chunks even if work remains",
+    )
+    work.add_argument("--json", action="store_true", help="machine-readable stats")
+    _add_lease_args(work)
+    _add_store_arg(work)
+    work.set_defaults(func=_cmd_work)
+
+    fleet = sub.add_parser("fleet", help="inspect fleet coordination state")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status",
+        help="the queue snapshot: chunk claim/lease table, worker "
+             "heartbeat ages",
+    )
+    fleet_status.add_argument(
+        "--json", action="store_true", help="machine-readable snapshot"
+    )
+    _add_store_arg(fleet_status)
+    fleet_status.set_defaults(func=_cmd_fleet_status)
 
     merge = sub.add_parser(
         "merge", help="absorb shard stores into DEST (newest record wins)"

@@ -52,6 +52,13 @@ class RunStore:
     afresh.  Persistent backends preserve this order across reopen.
     """
 
+    concurrent_safe = False
+    """Whether several *processes* may write this store at once without
+    corrupting it.  Only :class:`SqliteStore` (WAL + busy timeout +
+    transactions) earns ``True``; :mod:`repro.fleet` refuses to
+    coordinate over anything else (see
+    :class:`~repro.errors.UnsafeFleetStoreError`)."""
+
     def get(self, key: str) -> dict | None:
         raise NotImplementedError
 
@@ -278,6 +285,40 @@ class JsonlStore(RunStore):
             self._handle = None
 
 
+#: The ``runs`` table DDL, shared with :class:`repro.fleet.coordinator.
+#: FleetCoordinator` — the fleet lays its lease tables beside this one
+#: in the same database so chunk commits and lease releases can share a
+#: transaction.
+RUNS_SCHEMA = """
+    CREATE TABLE IF NOT EXISTS runs (
+        key           TEXT PRIMARY KEY,
+        engine        TEXT NOT NULL,
+        scenario_name TEXT NOT NULL,
+        ok            INTEGER NOT NULL,
+        recorded_at   REAL NOT NULL,
+        entry         TEXT NOT NULL
+    )
+"""
+
+
+def entry_row(
+    key: str, entry: dict, recorded_at: float | None = None
+) -> tuple[str, str, str, int, float, str]:
+    """One ``runs`` row (the :data:`RUNS_SCHEMA` column order) for an
+    entry dict.  Shared by :meth:`SqliteStore.put` and the fleet
+    coordinator's atomic chunk commit, so both write byte-identical
+    rows."""
+    engine, name = _entry_identity(entry)
+    return (
+        key,
+        engine,
+        name,
+        1 if entry.get("ok") else 0,
+        time.time() if recorded_at is None else recorded_at,
+        json.dumps(entry, sort_keys=True),
+    )
+
+
 class SqliteStore(RunStore):
     """One ``runs`` table in a ``sqlite3`` database.
 
@@ -304,16 +345,9 @@ class SqliteStore(RunStore):
     the store works, just without concurrent readers.
     """
 
-    _SCHEMA = """
-        CREATE TABLE IF NOT EXISTS runs (
-            key           TEXT PRIMARY KEY,
-            engine        TEXT NOT NULL,
-            scenario_name TEXT NOT NULL,
-            ok            INTEGER NOT NULL,
-            recorded_at   REAL NOT NULL,
-            entry         TEXT NOT NULL
-        )
-    """
+    _SCHEMA = RUNS_SCHEMA
+
+    concurrent_safe = True
 
     def __init__(
         self,
@@ -347,15 +381,7 @@ class SqliteStore(RunStore):
             ) from error
 
     def _row(self, key: str, entry: dict, recorded_at: float | None) -> tuple:
-        engine, name = _entry_identity(entry)
-        return (
-            key,
-            engine,
-            name,
-            1 if entry.get("ok") else 0,
-            time.time() if recorded_at is None else recorded_at,
-            json.dumps(entry, sort_keys=True),
-        )
+        return entry_row(key, entry, recorded_at)
 
     def get(self, key: str) -> dict | None:
         row = self._db.execute(

@@ -8,7 +8,7 @@ from repro import errors
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_setup_py_single_sources_version(self):
         """setup.py must read the version out of repro.__init__, never

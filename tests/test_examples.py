@@ -31,4 +31,5 @@ def test_expected_examples_present():
         "kidney_exchange",
         "adversarial_demo",
         "sharded_commit",
+        "fleet_quickstart",
     } <= names

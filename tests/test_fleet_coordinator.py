@@ -1,0 +1,423 @@
+"""The claim/lease protocol: every edge the fleet can hit.
+
+The coordination guarantees under test:
+
+* unsafe store backends (JSONL, :memory:) are refused with a
+  structured error before any worker can corrupt them;
+* enqueueing is idempotent at run-key granularity — warm store keys
+  and already-queued keys are never re-claimed;
+* a lease heartbeating exactly at its expiry instant survives (expiry
+  is strict: ``lease_expires + skew_grace < now``);
+* two workers racing one pending chunk: exactly one wins, the loser
+  gets ``None``, never the same chunk;
+* a coordinator reopened on a live queue re-adopts it — live leases
+  stay owned, done chunks stay done, only truly expired leases
+  re-issue;
+* clock-skewed heartbeats can never shorten a lease (monotonic MAX);
+* commit is atomic with lease release — a lost lease commits nothing.
+
+Everything runs on an injected fake clock: no sleeps, no real time.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Scenario, Sweep
+from repro.api.sweep import execute_payload, run_key
+from repro.digraph.generators import cycle_digraph, triangle
+from repro.errors import (
+    FleetError,
+    LabError,
+    LeaseLostError,
+    ReproError,
+    UnsafeFleetStoreError,
+)
+from repro.fleet import (
+    CHUNK_STATE_DONE,
+    CHUNK_STATE_LEASED,
+    CHUNK_STATE_PENDING,
+    FleetConfig,
+    FleetCoordinator,
+    ensure_fleet_path,
+)
+from repro.lab.store import open_store
+
+
+class FakeClock:
+    """An injectable clock the tests advance by hand."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def small_sweep(count: int = 6) -> Sweep:
+    sweep = Sweep("fleet-test")
+    for index in range(count):
+        sweep.add(
+            "herlihy",
+            Scenario(topology=triangle(), seed=index, name=f"fleet#{index}"),
+        )
+    return sweep
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def config():
+    return FleetConfig(lease_ttl=10.0, skew_grace=2.0, chunk_size=2)
+
+
+@pytest.fixture
+def coordinator(tmp_path, clock, config):
+    with FleetCoordinator(tmp_path / "fleet.sqlite", config, clock=clock) as c:
+        yield c
+
+
+def entries_for(claim):
+    return [
+        (key, execute_payload(payload))
+        for key, payload in zip(claim.run_keys, claim.payloads)
+    ]
+
+
+class TestUnsafeBackends:
+    """Satellite: JSONL/memory stores refused with a structured error."""
+
+    @pytest.mark.parametrize(
+        "path, backend",
+        [(":memory:", "memory"), ("runs.jsonl", "jsonl"), ("runs.ndjson", "jsonl")],
+    )
+    def test_refused_with_structured_error(self, path, backend):
+        with pytest.raises(UnsafeFleetStoreError) as excinfo:
+            ensure_fleet_path(path)
+        error = excinfo.value
+        assert error.path == path
+        assert error.backend == backend
+        assert "sqlite" in error.suggestion.lower()
+        assert "concurrent-writer safety" in str(error)
+
+    def test_coordinator_constructor_refuses(self, tmp_path):
+        with pytest.raises(UnsafeFleetStoreError):
+            FleetCoordinator(tmp_path / "runs.jsonl")
+
+    def test_error_is_a_lab_error(self):
+        # The CLI's ReproError handler must catch it (exit 1, stderr).
+        with pytest.raises(LabError):
+            ensure_fleet_path(":memory:")
+        with pytest.raises(ReproError):
+            ensure_fleet_path(":memory:")
+
+    def test_sqlite_paths_pass(self, tmp_path):
+        assert ensure_fleet_path(tmp_path / "ok.sqlite").name == "ok.sqlite"
+
+
+class TestConfig:
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(FleetError):
+            FleetConfig(lease_ttl=0)
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(FleetError):
+            FleetConfig(skew_grace=-1)
+
+    def test_rejects_empty_chunks(self):
+        with pytest.raises(FleetError):
+            FleetConfig(chunk_size=0)
+
+
+class TestEnqueue:
+    def test_chunks_by_config_size(self, coordinator):
+        receipt = coordinator.enqueue(small_sweep(5).items())
+        assert receipt.total == 5
+        assert receipt.enqueued == 5
+        assert receipt.chunks == 3  # 2 + 2 + 1
+        assert receipt.warm == 0 and receipt.queued == 0
+        assert coordinator.outstanding() == 3
+
+    def test_warm_keys_never_reclaimed(self, tmp_path, clock, config):
+        # Pre-record two of the runs through the ordinary store API —
+        # the coordinator must skip them by content address.
+        items = small_sweep(4).items()
+        path = tmp_path / "fleet.sqlite"
+        with open_store(str(path)) as store:
+            for engine, scenario in items[:2]:
+                store.put(
+                    run_key(engine, scenario), execute_payload(
+                        (engine, scenario.to_dict())
+                    )
+                )
+        with FleetCoordinator(path, config, clock=clock) as coordinator:
+            receipt = coordinator.enqueue(items)
+            assert receipt.warm == 2
+            assert receipt.enqueued == 2
+            queued_keys = set()
+            while (claim := coordinator.claim("w")) is not None:
+                queued_keys.update(claim.run_keys)
+                coordinator.commit_chunk(claim.chunk_id, "w", entries_for(claim))
+            warm = {run_key(e, s) for e, s in items[:2]}
+            assert queued_keys.isdisjoint(warm)
+
+    def test_reenqueue_is_idempotent(self, coordinator):
+        items = small_sweep(4).items()
+        coordinator.enqueue(items)
+        again = coordinator.enqueue(items)
+        assert again.enqueued == 0
+        assert again.queued == 4
+        assert coordinator.outstanding() == 2
+
+    def test_in_batch_duplicates_collapse(self, coordinator):
+        items = small_sweep(2).items()
+        receipt = coordinator.enqueue(list(items) * 3)
+        assert receipt.total == 2
+        assert receipt.enqueued == 2
+
+
+class TestClaimRace:
+    """Two workers racing one claim: exactly one winner."""
+
+    def test_single_chunk_single_winner(self, tmp_path, clock):
+        config = FleetConfig(lease_ttl=10.0, skew_grace=2.0, chunk_size=8)
+        with FleetCoordinator(tmp_path / "f.sqlite", config, clock=clock) as c:
+            c.enqueue(small_sweep(3).items())  # one chunk
+            first = c.claim("worker-a")
+            second = c.claim("worker-b")
+            assert first is not None
+            assert second is None  # leased to a, not re-leased to b
+            assert c.outstanding() == 1
+
+    def test_two_processes_share_one_queue(self, tmp_path, clock, config):
+        # Two coordinators on the same path — the claims must partition
+        # the chunks with no overlap.
+        path = tmp_path / "f.sqlite"
+        with FleetCoordinator(path, config, clock=clock) as a, \
+                FleetCoordinator(path, config, clock=clock) as b:
+            a.enqueue(small_sweep(6).items())  # 3 chunks
+            claims = [a.claim("wa"), b.claim("wb"), a.claim("wa")]
+            ids = [claim.chunk_id for claim in claims if claim is not None]
+            assert len(ids) == 3
+            assert len(set(ids)) == 3
+            assert a.claim("wa") is None
+            assert b.claim("wb") is None
+
+    def test_claims_issue_in_sequence_order(self, coordinator):
+        coordinator.enqueue(small_sweep(6).items())
+        seqs = []
+        while (claim := coordinator.claim("w")) is not None:
+            row = coordinator._db.execute(
+                "SELECT seq FROM fleet_chunks WHERE chunk_id = ?",
+                (claim.chunk_id,),
+            ).fetchone()
+            seqs.append(int(row[0]))
+        assert seqs == sorted(seqs) == [0, 1, 2]
+
+
+class TestLeaseExpiry:
+    def test_heartbeat_exactly_at_expiry_survives(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        clock.now = claim.lease_expires  # the exact expiry instant
+        new_expiry = coordinator.heartbeat(claim.chunk_id, "w1")
+        assert new_expiry == claim.lease_expires + coordinator.config.lease_ttl
+
+    def test_not_reissued_within_grace(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        # Expired, but by exactly the grace: strict < keeps it leased.
+        clock.now = claim.lease_expires + coordinator.config.skew_grace
+        assert coordinator.claim("w2") is None
+        coordinator.heartbeat(claim.chunk_id, "w1")  # still w1's lease
+
+    def test_reissued_past_grace_with_attempt_bump(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        assert claim.attempt == 1
+        clock.now = claim.lease_expires + coordinator.config.skew_grace + 0.001
+        stolen = coordinator.claim("w2")
+        assert stolen is not None
+        assert stolen.chunk_id == claim.chunk_id
+        assert stolen.attempt == 2
+        assert stolen.run_keys == claim.run_keys
+
+    def test_dead_workers_chunk_heartbeat_raises(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        clock.advance(100.0)
+        coordinator.claim("w2")
+        with pytest.raises(LeaseLostError) as excinfo:
+            coordinator.heartbeat(claim.chunk_id, "w1")
+        assert excinfo.value.worker_id == "w1"
+        assert excinfo.value.chunk_id == claim.chunk_id
+
+    def test_skewed_heartbeat_never_shortens_lease(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        # A worker whose clock runs *behind* heartbeats with an earlier
+        # now; MAX() must keep the later expiry already on the lease.
+        clock.advance(-8.0)
+        coordinator.heartbeat(claim.chunk_id, "w1")
+        row = coordinator._db.execute(
+            "SELECT lease_expires FROM fleet_chunks WHERE chunk_id = ?",
+            (claim.chunk_id,),
+        ).fetchone()
+        assert float(row[0]) == claim.lease_expires
+
+    def test_heartbeat_extends_monotonically(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        clock.advance(5.0)
+        extended = coordinator.heartbeat(claim.chunk_id, "w1")
+        assert extended == claim.lease_expires + 5.0
+
+
+class TestRestartAdoption:
+    """A coordinator reopened on a live queue re-adopts it as-is."""
+
+    def test_live_leases_survive_reopen(self, tmp_path, clock, config):
+        path = tmp_path / "f.sqlite"
+        with FleetCoordinator(path, config, clock=clock) as first:
+            first.enqueue(small_sweep(4).items())
+            claim = first.claim("w1")
+        with FleetCoordinator(path, config, clock=clock) as reopened:
+            # w1's lease is live: the reopened coordinator must not
+            # hand its chunk to anyone else...
+            other = reopened.claim("w2")
+            assert other is not None and other.chunk_id != claim.chunk_id
+            assert reopened.claim("w3") is None
+            # ...and w1 can still heartbeat and commit through it.
+            reopened.heartbeat(claim.chunk_id, "w1")
+            reopened.commit_chunk(claim.chunk_id, "w1", entries_for(claim))
+            assert reopened.outstanding() == 1  # only w2's chunk left
+
+    def test_done_chunks_stay_done_after_reopen(self, tmp_path, clock, config):
+        path = tmp_path / "f.sqlite"
+        items = small_sweep(2).items()
+        with FleetCoordinator(path, config, clock=clock) as first:
+            first.enqueue(items)
+            claim = first.claim("w1")
+            first.commit_chunk(claim.chunk_id, "w1", entries_for(claim))
+        with FleetCoordinator(path, config, clock=clock) as reopened:
+            assert reopened.outstanding() == 0
+            assert reopened.claim("w2") is None
+            assert reopened.enqueue(items).warm == 2
+
+    def test_expired_leases_reissue_after_reopen(self, tmp_path, clock, config):
+        path = tmp_path / "f.sqlite"
+        with FleetCoordinator(path, config, clock=clock) as first:
+            first.enqueue(small_sweep(2).items())
+            first.claim("w1")
+        clock.advance(config.lease_ttl + config.skew_grace + 1.0)
+        with FleetCoordinator(path, config, clock=clock) as reopened:
+            stolen = reopened.claim("w2")
+            assert stolen is not None and stolen.attempt == 2
+
+
+class TestAtomicCommit:
+    def test_commit_records_runs_and_releases(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        coordinator.commit_chunk(claim.chunk_id, "w1", entries_for(claim))
+        assert coordinator.outstanding() == 0
+        rows = coordinator._db.execute(
+            "SELECT key, entry FROM runs"
+        ).fetchall()
+        assert {str(key) for key, _ in rows} == set(claim.run_keys)
+        for _, blob in rows:
+            assert json.loads(blob)["ok"] is True
+
+    def test_lost_lease_commits_nothing(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        entries = entries_for(claim)
+        clock.advance(100.0)
+        coordinator.claim("w2")  # steals the expired lease
+        with pytest.raises(LeaseLostError) as excinfo:
+            coordinator.commit_chunk(claim.chunk_id, "w1", entries)
+        assert "discard" in str(excinfo.value)
+        count = coordinator._db.execute("SELECT COUNT(*) FROM runs").fetchone()
+        assert int(count[0]) == 0  # atomicity: the rollback took the rows
+
+    def test_commit_through_store_api_is_readable(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        coordinator.commit_chunk(claim.chunk_id, "w1", entries_for(claim))
+        with open_store(str(coordinator.path)) as store:
+            assert set(store.keys()) == set(claim.run_keys)
+            for key in claim.run_keys:
+                assert store.get(key)["ok"] is True
+
+    def test_voluntary_release_returns_chunk(self, coordinator):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        assert coordinator.release(claim.chunk_id, "w1") is True
+        again = coordinator.claim("w2")
+        assert again is not None and again.chunk_id == claim.chunk_id
+
+    def test_release_after_steal_is_a_noop(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(2).items())
+        claim = coordinator.claim("w1")
+        clock.advance(100.0)
+        coordinator.claim("w2")
+        assert coordinator.release(claim.chunk_id, "w1") is False
+
+
+class TestStatus:
+    def test_snapshot_shape(self, coordinator, clock):
+        coordinator.enqueue(small_sweep(4).items())
+        claim = coordinator.claim("w1")
+        status = coordinator.status()
+        assert set(status) == {"store", "config", "counts", "chunks", "workers"}
+        assert status["config"] == {
+            "lease_ttl": 10.0, "skew_grace": 2.0, "chunk_size": 2,
+        }
+        counts = status["counts"]
+        assert counts[CHUNK_STATE_PENDING] == 1
+        assert counts[CHUNK_STATE_LEASED] == 1
+        assert counts[CHUNK_STATE_DONE] == 0
+        assert counts["items_queued"] == 4
+        assert counts["items_done"] == 0
+        leased = [c for c in status["chunks"] if c["state"] == CHUNK_STATE_LEASED]
+        assert leased[0]["owner"] == "w1"
+        assert leased[0]["attempts"] == 1
+        assert leased[0]["lease_expires_in"] == pytest.approx(10.0)
+        assert status["workers"][0]["worker_id"] == "w1"
+
+    def test_snapshot_is_json_serializable(self, coordinator):
+        coordinator.enqueue(small_sweep(2).items())
+        coordinator.claim("w1")
+        round_tripped = json.loads(json.dumps(coordinator.status()))
+        assert round_tripped["counts"]["leased"] == 1
+
+
+class TestLintScope:
+    """repro.fleet sits in the determinism lint's random and
+    set-iteration scopes, but not the wall-clock scope (leases are
+    inherently wall-time; the timestamps never enter run keys)."""
+
+    def test_scopes(self):
+        from repro.analysis.rules import DeterminismRule
+
+        assert "repro.fleet" in DeterminismRule.RANDOM_SCOPE
+        assert "repro.fleet" in DeterminismRule.SET_ITER_SCOPE
+        assert "repro.fleet" not in DeterminismRule.WALL_CLOCK_SCOPE
+
+    def test_fleet_package_lints_clean(self):
+        from pathlib import Path
+
+        import repro.fleet
+        from repro.analysis.lint import run_lint
+
+        fleet_dir = Path(repro.fleet.__file__).parent
+        assert not run_lint([str(fleet_dir)])
